@@ -1,0 +1,204 @@
+package corral_test
+
+// Benchmark harness: one benchmark per table/figure of the paper's
+// evaluation, each running the corresponding experiment end to end
+// (workload generation, offline planning, full cluster simulation) and
+// reporting the key reproduced quantity as a custom metric.
+//
+// Size defaults to the fast "s" profile so `go test -bench=.` completes in
+// well under a minute; set CORRAL_BENCH_SIZE=m (or l) to run the scaled
+// 7-rack profile the EXPERIMENTS.md numbers are quoted from.
+
+import (
+	"os"
+	"testing"
+
+	"corral"
+)
+
+func benchSize(b *testing.B) corral.ExperimentSize {
+	switch os.Getenv("CORRAL_BENCH_SIZE") {
+	case "m", "medium":
+		return corral.SizeMedium
+	case "l", "large", "full":
+		return corral.SizeLarge
+	default:
+		return corral.SizeSmall
+	}
+}
+
+// benchExperiment runs one experiment per iteration and republishes the
+// named outcome values as benchmark metrics.
+func benchExperiment(b *testing.B, id string, metricKeys ...string) {
+	b.Helper()
+	size := benchSize(b)
+	var last *corral.ExperimentReport
+	for i := 0; i < b.N; i++ {
+		r, err := corral.RunExperiment(id, size, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	for _, k := range metricKeys {
+		if v, ok := last.Values[k]; ok {
+			b.ReportMetric(v, k)
+		}
+	}
+}
+
+func BenchmarkFig1_RecurringPredictability(b *testing.B) {
+	benchExperiment(b, "fig1", "prediction_mape_pct")
+}
+
+func BenchmarkFig2_SlotsCDF(b *testing.B) {
+	benchExperiment(b, "fig2", "cluster1_under_one_rack_frac")
+}
+
+func BenchmarkTable1_W3Characteristics(b *testing.B) {
+	benchExperiment(b, "table1", "input_gb_p50", "shuffle_gb_p95")
+}
+
+func BenchmarkLPGap(b *testing.B) {
+	benchExperiment(b, "lpgap", "W1_batch_gap_pct")
+}
+
+func BenchmarkFig5_PlannerScaling(b *testing.B) {
+	benchExperiment(b, "fig5")
+}
+
+func BenchmarkFig6_BatchMakespan(b *testing.B) {
+	benchExperiment(b, "fig6", "W1_corral_makespan_reduction_pct")
+}
+
+func BenchmarkFig7a_CrossRack(b *testing.B) {
+	benchExperiment(b, "fig7a", "W1_corral_crossrack_reduction_pct")
+}
+
+func BenchmarkFig7b_ComputeHours(b *testing.B) {
+	benchExperiment(b, "fig7b", "W1_corral_computehours_reduction_pct")
+}
+
+func BenchmarkFig7c_ReduceTimes(b *testing.B) {
+	benchExperiment(b, "fig7c", "reduce_time_median_reduction_pct")
+}
+
+func BenchmarkFig8_OnlineCDF(b *testing.B) {
+	benchExperiment(b, "fig8", "W1_median_reduction_pct")
+}
+
+func BenchmarkFig9_BySize(b *testing.B) {
+	benchExperiment(b, "fig9", "large_corral_avg_reduction_pct")
+}
+
+func BenchmarkFig10_TPCH(b *testing.B) {
+	benchExperiment(b, "fig10", "median_reduction_pct", "mean_reduction_pct")
+}
+
+func BenchmarkFig11_AdHocMix(b *testing.B) {
+	benchExperiment(b, "fig11", "recurring_mean_reduction_pct", "adhoc_makespan_reduction_pct")
+}
+
+func BenchmarkFig12_BackgroundSweep(b *testing.B) {
+	benchExperiment(b, "fig12", "makespan_reduction_pct_bg50", "makespan_reduction_pct_bg67")
+}
+
+func BenchmarkFig13a_SizeError(b *testing.B) {
+	benchExperiment(b, "fig13a", "makespan_reduction_pct_err50")
+}
+
+func BenchmarkFig13b_ArrivalError(b *testing.B) {
+	benchExperiment(b, "fig13b", "avgtime_reduction_pct_delayed50")
+}
+
+func BenchmarkFig14_FlowSchedulers(b *testing.B) {
+	benchExperiment(b, "fig14", "corral+tcp_median_reduction_pct", "corral+varys_median_reduction_pct")
+}
+
+func BenchmarkDataBalance(b *testing.B) {
+	benchExperiment(b, "balance", "cov_corral", "cov_hdfs")
+}
+
+func BenchmarkAblationAlpha(b *testing.B) {
+	benchExperiment(b, "ablation-alpha", "cov_alpha_on", "cov_alpha_off")
+}
+
+func BenchmarkAblationProvision(b *testing.B) {
+	benchExperiment(b, "ablation-provision", "makespan_full", "makespan_onerack")
+}
+
+func BenchmarkAblationPriority(b *testing.B) {
+	benchExperiment(b, "ablation-priority", "makespan_widest_first", "makespan_plain_lpt")
+}
+
+func BenchmarkAblationDelay(b *testing.B) {
+	benchExperiment(b, "ablation-delay")
+}
+
+// Micro-benchmarks of the core components.
+
+func BenchmarkPlannerBatch100Jobs(b *testing.B) {
+	cluster := corral.DefaultCluster()
+	jobs := corral.W1(corral.WorkloadConfig{Seed: 1, Jobs: 100})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := corral.PlanBatch(cluster, jobs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLPBound100Jobs(b *testing.B) {
+	cluster := corral.DefaultCluster()
+	jobs := corral.W1(corral.WorkloadConfig{Seed: 1, Jobs: 100})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if corral.BatchLowerBound(cluster, jobs) <= 0 {
+			b.Fatal("bad bound")
+		}
+	}
+}
+
+func BenchmarkSimulateSmallBatch(b *testing.B) {
+	cluster := corral.ClusterConfig{
+		Racks: 4, MachinesPerRack: 4, SlotsPerMachine: 2,
+		NICBandwidth: 10e9 / 8, Oversubscription: 5,
+	}
+	jobs := corral.W1(corral.WorkloadConfig{Seed: 1, Jobs: 12, Scale: 1.0 / 20, TaskScale: 1.0 / 20})
+	plan, err := corral.PlanBatch(cluster, jobs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := corral.Simulate(corral.SimConfig{
+			Cluster: cluster, Scheduler: corral.SchedulerCorral, Plan: plan, Seed: 1,
+		}, corral.CloneJobs(jobs)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtRemoteStorage(b *testing.B) {
+	benchExperiment(b, "ext-remote", "makespan_reduction_pct")
+}
+
+func BenchmarkExtInMemory(b *testing.B) {
+	benchExperiment(b, "ext-inmemory", "makespan_reduction_pct")
+}
+
+func BenchmarkExtFailures(b *testing.B) {
+	benchExperiment(b, "ext-failures", "slowdown_pct")
+}
+
+func BenchmarkExtSpeculation(b *testing.B) {
+	benchExperiment(b, "ext-speculation", "makespan_speculation")
+}
+
+func BenchmarkExtReplan(b *testing.B) {
+	benchExperiment(b, "ext-replan", "avg_replan", "avg_oracle")
+}
+
+func BenchmarkExtSharedData(b *testing.B) {
+	benchExperiment(b, "ext-shared-data", "crossrack_gb_shared", "crossrack_gb_perjob")
+}

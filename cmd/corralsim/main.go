@@ -1,0 +1,91 @@
+// Command corralsim regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	corralsim -list
+//	corralsim -exp fig6 -size m -seed 1
+//	corralsim -exp all -size s
+//
+// Sizes: s (toy, seconds), m (default, scaled 7-rack cluster), l (closest
+// to the paper's job counts; minutes).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"corral"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "", "experiment ID (see -list), or \"all\"")
+		size   = flag.String("size", "m", "experiment scale: s, m or l")
+		seed   = flag.Int64("seed", 1, "random seed")
+		list   = flag.Bool("list", false, "list available experiments")
+		asJSON = flag.Bool("json", false, "emit key outcome values as JSON")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("available experiments:")
+		for _, e := range corral.Experiments() {
+			fmt.Printf("  %-20s %s\n", e.ID, e.Description)
+		}
+		if *exp == "" && !*list {
+			fmt.Println("\nrun one with: corralsim -exp <id>")
+		}
+		return
+	}
+
+	sz, err := parseSize(*size)
+	if err != nil {
+		fatal(err)
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = ids[:0]
+		for _, e := range corral.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	}
+	jsonOut := map[string]map[string]float64{}
+	for _, id := range ids {
+		report, err := corral.RunExperiment(id, sz, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		if *asJSON {
+			jsonOut[id] = report.Values
+			continue
+		}
+		fmt.Println(report)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonOut); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func parseSize(s string) (corral.ExperimentSize, error) {
+	switch s {
+	case "s", "small":
+		return corral.SizeSmall, nil
+	case "m", "medium":
+		return corral.SizeMedium, nil
+	case "l", "large", "full":
+		return corral.SizeLarge, nil
+	}
+	return 0, fmt.Errorf("unknown size %q (want s, m or l)", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "corralsim:", err)
+	os.Exit(1)
+}

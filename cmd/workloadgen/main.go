@@ -1,0 +1,53 @@
+// Command workloadgen emits one of the paper's workloads as JSON, for use
+// with corralplan or custom tooling.
+//
+// Usage:
+//
+//	workloadgen -workload w1 -jobs 50 -scale 0.1 -window 600 > jobs.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"corral"
+)
+
+func main() {
+	var (
+		name   = flag.String("workload", "w1", "workload: w1, w2, w3 or tpch")
+		jobs   = flag.Int("jobs", 0, "job count (0 = workload default)")
+		scale  = flag.Float64("scale", 1, "byte-size scale factor")
+		seed   = flag.Int64("seed", 1, "random seed")
+		window = flag.Float64("window", 0, "arrival window in seconds (0 = batch)")
+		dbGB   = flag.Float64("tpch-db-gb", 200, "TPC-H database size in GB")
+	)
+	flag.Parse()
+
+	cfg := corral.WorkloadConfig{
+		Seed: *seed, Jobs: *jobs, Scale: *scale, ArrivalWindow: *window,
+	}
+	var out []*corral.Job
+	switch *name {
+	case "w1":
+		out = corral.W1(cfg)
+	case "w2":
+		out = corral.W2(cfg)
+	case "w3":
+		out = corral.W3(cfg)
+	case "tpch":
+		out = corral.TPCH(cfg, *dbGB*1e9)
+	default:
+		fmt.Fprintf(os.Stderr, "workloadgen: unknown workload %q\n", *name)
+		os.Exit(1)
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "workloadgen:", err)
+		os.Exit(1)
+	}
+}

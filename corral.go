@@ -1,0 +1,301 @@
+// Package corral is a from-scratch reproduction of "Network-Aware
+// Scheduling for Data-Parallel Jobs: Plan When You Can" (Jalaparti et al.,
+// SIGCOMM 2015) — the Corral scheduling framework — together with every
+// substrate its evaluation needs: a discrete-event cluster simulator with
+// a flow-level network model (max-min fair "TCP" and a Varys-style coflow
+// scheduler), an HDFS-like replicated block store, a YARN-like capacity
+// scheduler with delay scheduling, the ShuffleWatcher and LocalShuffle
+// baselines, the paper's workload generators, the LP relaxation lower
+// bound, and a harness regenerating every table and figure.
+//
+// # Quick start
+//
+//	cluster := corral.DefaultCluster()
+//	jobs := corral.W1(corral.WorkloadConfig{Seed: 1, Jobs: 20, Scale: 0.05})
+//	plan, _ := corral.PlanBatch(cluster, jobs)
+//	res, _ := corral.Simulate(corral.SimConfig{
+//		Cluster:   cluster,
+//		Scheduler: corral.SchedulerCorral,
+//		Plan:      plan,
+//	}, jobs)
+//	fmt.Println(res.Makespan)
+//
+// See the examples/ directory for runnable programs and cmd/corralsim for
+// the experiment harness.
+package corral
+
+import (
+	"corral/internal/experiments"
+	"corral/internal/job"
+	"corral/internal/lp"
+	"corral/internal/model"
+	"corral/internal/netsim"
+	"corral/internal/planner"
+	"corral/internal/runtime"
+	"corral/internal/topology"
+	"corral/internal/workload"
+)
+
+// ClusterConfig describes the simulated cluster: racks, machines, slots,
+// NIC bandwidth (bytes/sec), rack-to-core oversubscription and background
+// core traffic.
+type ClusterConfig = topology.Config
+
+// DefaultCluster returns the paper's evaluation cluster: 7 racks x 30
+// machines, 8 slots each, 10 Gbps NICs at 5:1 oversubscription.
+func DefaultCluster() ClusterConfig {
+	return ClusterConfig{
+		Racks:            7,
+		MachinesPerRack:  30,
+		SlotsPerMachine:  8,
+		NICBandwidth:     10e9 / 8,
+		Oversubscription: 5,
+	}
+}
+
+// Job is a (possibly DAG-structured) data-parallel job.
+type Job = job.Job
+
+// Profile is the per-stage 5-tuple ⟨D^I, D^S, D^O, N^M, N^R⟩ plus task
+// processing rates (§4.3).
+type Profile = job.Profile
+
+// Stage is one vertex of a job DAG.
+type Stage = job.Stage
+
+// NewMapReduce builds a single-stage MapReduce job.
+func NewMapReduce(id int, name string, p Profile) *Job {
+	return job.MapReduce(id, name, p)
+}
+
+// Plan is the offline planner's output: {R_j, p_j, T_j} per job.
+type Plan = planner.Plan
+
+// Assignment is one job's planned rack set, priority and start time.
+type Assignment = planner.Assignment
+
+// PlanBatch runs Corral's offline planner minimizing makespan (§4.1 batch
+// scenario) with the paper's default data-imbalance penalty. Ad-hoc jobs
+// in the list are skipped — the planner cannot see them (§3.1); they run
+// on otherwise-idle resources at execution time.
+func PlanBatch(cluster ClusterConfig, jobs []*Job) (*Plan, error) {
+	return planner.New(planner.Input{
+		Cluster:   model.FromTopology(cluster),
+		Jobs:      plannable(jobs),
+		Alpha:     -1,
+		Objective: planner.MinimizeMakespan,
+	})
+}
+
+// PlanOnline runs the offline planner minimizing average completion time
+// (§4.1 online scenario; jobs carry arrival times). Ad-hoc jobs are
+// skipped, as in PlanBatch.
+func PlanOnline(cluster ClusterConfig, jobs []*Job) (*Plan, error) {
+	return planner.New(planner.Input{
+		Cluster:   model.FromTopology(cluster),
+		Jobs:      plannable(jobs),
+		Alpha:     -1,
+		Objective: planner.MinimizeAvgCompletion,
+	})
+}
+
+func plannable(jobs []*Job) []*Job {
+	out := make([]*Job, 0, len(jobs))
+	for _, j := range jobs {
+		if !j.AdHoc {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// Scheduler selects the cluster scheduling policy.
+type Scheduler = runtime.Kind
+
+// The four evaluated schedulers (§6.1).
+const (
+	SchedulerYarnCS         = runtime.YarnCS
+	SchedulerCorral         = runtime.Corral
+	SchedulerLocalShuffle   = runtime.LocalShuffle
+	SchedulerShuffleWatcher = runtime.ShuffleWatcher
+)
+
+// FlowPolicy allocates link bandwidth among flows.
+type FlowPolicy = netsim.Policy
+
+// TCP returns the max-min fair sharing policy (the TCP emulation).
+func TCP() FlowPolicy { return netsim.MaxMinFair{} }
+
+// VarysCoflow returns the Varys-style coflow scheduler (SEBF + MADD with
+// work-conserving backfill), used in the Fig 14 comparison.
+func VarysCoflow() FlowPolicy { return netsim.Varys{} }
+
+// SimConfig configures one simulated execution.
+type SimConfig struct {
+	Cluster   ClusterConfig
+	Scheduler Scheduler
+	// Plan is required for SchedulerCorral and SchedulerLocalShuffle.
+	Plan *Plan
+	// Network selects the flow-level policy; nil means TCP (max-min fair).
+	Network FlowPolicy
+	// Seed drives data placement and other randomized choices.
+	Seed int64
+	// FailedMachines are unreachable from time zero (§3.1 failure
+	// handling: Corral drops a job's placement constraints when a majority
+	// of its racks' machines are dead).
+	FailedMachines []int
+	// Failures kills machines at points in simulated time; their running
+	// tasks are re-executed elsewhere.
+	Failures []Failure
+	// StragglerFraction/StragglerSlowdown inject task outliers (§3.3);
+	// Speculation enables the speculative re-execution watchdog.
+	StragglerFraction float64
+	StragglerSlowdown float64
+	Speculation       bool
+	// RemoteStorageInput reads job input from a separate storage cluster
+	// over Cluster.RemoteStorageBandwidth (§7 "Remote storage").
+	RemoteStorageInput bool
+	// InMemoryInput models Spark-like in-memory data: no replicated output
+	// writes, network-bound shuffles remain (§7 "In-memory systems").
+	InMemoryInput bool
+}
+
+// Failure kills one machine at a point in simulated time.
+type Failure = runtime.Failure
+
+// Result is a simulation outcome.
+type Result = runtime.Result
+
+// JobResult is one job's outcome within a Result.
+type JobResult = runtime.JobResult
+
+// Simulate executes the jobs on the simulated cluster and returns per-job
+// and aggregate metrics.
+func Simulate(cfg SimConfig, jobs []*Job) (*Result, error) {
+	return runtime.Run(runtime.Options{
+		Topology:           cfg.Cluster,
+		Scheduler:          cfg.Scheduler,
+		Plan:               cfg.Plan,
+		Network:            cfg.Network,
+		Seed:               cfg.Seed,
+		FailedMachines:     cfg.FailedMachines,
+		Failures:           cfg.Failures,
+		StragglerFraction:  cfg.StragglerFraction,
+		StragglerSlowdown:  cfg.StragglerSlowdown,
+		Speculation:        cfg.Speculation,
+		RemoteStorageInput: cfg.RemoteStorageInput,
+		InMemoryInput:      cfg.InMemoryInput,
+	}, jobs)
+}
+
+// Commitment reserves racks until an expected completion time during a
+// replan (§3.1 periodic replanning).
+type Commitment = planner.Commitment
+
+// Replan reruns the offline planner at time now for pending jobs while
+// honoring commitments from in-flight work (§3.1: "the offline planner
+// will periodically receive updated estimates ... and update the
+// guidelines"). Objective: average completion time.
+func Replan(cluster ClusterConfig, jobs []*Job, now float64, commitments []Commitment) (*Plan, error) {
+	return planner.Replan(planner.Input{
+		Cluster:   model.FromTopology(cluster),
+		Jobs:      plannable(jobs),
+		Alpha:     -1,
+		Objective: planner.MinimizeAvgCompletion,
+	}, now, commitments)
+}
+
+// MergePlans overlays a replan onto an existing plan; see planner.MergePlans.
+func MergePlans(prev, next *Plan) *Plan { return planner.MergePlans(prev, next) }
+
+// WorkloadConfig parameterises the workload generators.
+type WorkloadConfig = workload.Config
+
+// W1 generates the Quantcast-derived workload (§6.1).
+func W1(cfg WorkloadConfig) []*Job { return workload.W1(cfg) }
+
+// W2 generates the SWIM/Yahoo-derived skewed workload (§6.1).
+func W2(cfg WorkloadConfig) []*Job { return workload.W2(cfg) }
+
+// W3 generates the Microsoft Cosmos-derived workload (Table 1).
+func W3(cfg WorkloadConfig) []*Job { return workload.W3(cfg) }
+
+// TPCH generates Hive-style TPC-H DAG queries over a database of dbBytes
+// (0 selects 200 GB, §6.3).
+func TPCH(cfg WorkloadConfig, dbBytes float64) []*Job {
+	return workload.TPCH(cfg, dbBytes)
+}
+
+// CloneJobs deep-copies a job list.
+func CloneJobs(jobs []*Job) []*Job { return workload.Clone(jobs) }
+
+// MarkAdHoc flags jobs as unplannable ad-hoc work (§6.4).
+func MarkAdHoc(jobs []*Job) []*Job { return workload.MarkAdHoc(jobs) }
+
+// LatencyModel exposes the §4.3 response functions for a cluster.
+type LatencyModel = model.Cluster
+
+// NewLatencyModel derives the analytic latency model from a cluster
+// config.
+func NewLatencyModel(cluster ClusterConfig) LatencyModel {
+	return model.FromTopology(cluster)
+}
+
+// BatchLowerBound returns the exact LP-Batch relaxation optimum (Appendix
+// A): a makespan no rack-granular schedule can beat.
+func BatchLowerBound(cluster ClusterConfig, jobs []*Job) float64 {
+	return lp.BatchLowerBound(model.FromTopology(cluster), jobs, -1)
+}
+
+// OnlineLowerBound returns a lower bound on average completion time for
+// the online scenario.
+func OnlineLowerBound(cluster ClusterConfig, jobs []*Job) float64 {
+	return lp.OnlineLowerBound(model.FromTopology(cluster), jobs, -1)
+}
+
+// ExperimentSize selects the scale of a reproduction experiment.
+type ExperimentSize = experiments.Size
+
+// Experiment scales: small (tests), medium (default), large (closest to
+// the paper's job counts).
+const (
+	SizeSmall  = experiments.SizeS
+	SizeMedium = experiments.SizeM
+	SizeLarge  = experiments.SizeL
+)
+
+// ExperimentReport holds an experiment's tables and key numeric outcomes.
+type ExperimentReport = experiments.Report
+
+// RunExperiment regenerates one of the paper's tables or figures by ID
+// (e.g. "fig6", "table1"; see Experiments for the full list).
+func RunExperiment(id string, size ExperimentSize, seed int64) (*ExperimentReport, error) {
+	f, ok := experiments.Lookup(id)
+	if !ok {
+		return nil, &UnknownExperimentError{ID: id}
+	}
+	return f(experiments.Params{Size: size, Seed: seed})
+}
+
+// Experiments lists the available experiment IDs and descriptions in the
+// paper's order.
+func Experiments() []ExperimentInfo {
+	var out []ExperimentInfo
+	for _, e := range experiments.Registry() {
+		out = append(out, ExperimentInfo{ID: e.ID, Description: e.Desc})
+	}
+	return out
+}
+
+// ExperimentInfo names one reproducible table or figure.
+type ExperimentInfo struct {
+	ID          string
+	Description string
+}
+
+// UnknownExperimentError reports an unrecognized experiment ID.
+type UnknownExperimentError struct{ ID string }
+
+func (e *UnknownExperimentError) Error() string {
+	return "corral: unknown experiment " + e.ID
+}

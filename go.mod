@@ -1,0 +1,3 @@
+module corral
+
+go 1.22

@@ -1,0 +1,208 @@
+package datadeps
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func simpleInput() Input {
+	return Input{
+		Racks:    4,
+		Datasets: []Dataset{{ID: 1, Bytes: 100}, {ID: 2, Bytes: 50}},
+		Reads: []Read{
+			{DatasetID: 1, JobID: 10, Bytes: 100},
+			{DatasetID: 1, JobID: 11, Bytes: 100},
+			{DatasetID: 2, JobID: 12, Bytes: 50},
+		},
+		JobRacks: map[int][]int{
+			10: {0},
+			11: {0, 1},
+			12: {3},
+		},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	in := simpleInput()
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := simpleInput()
+	bad.Racks = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero racks accepted")
+	}
+	bad = simpleInput()
+	bad.Reads = append(bad.Reads, Read{DatasetID: 99, JobID: 10, Bytes: 1})
+	if bad.Validate() == nil {
+		t.Fatal("read of unknown dataset accepted")
+	}
+	bad = simpleInput()
+	bad.Reads[0].JobID = 999
+	if bad.Validate() == nil {
+		t.Fatal("read by unassigned job accepted")
+	}
+	bad = simpleInput()
+	bad.JobRacks[10] = []int{7}
+	if bad.Validate() == nil {
+		t.Fatal("out-of-range job rack accepted")
+	}
+}
+
+func TestPlaceFollowsConsumers(t *testing.T) {
+	in := simpleInput()
+	p, err := Place(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dataset 1: both consumers cover rack 0 -> everything on rack 0.
+	if got := p.Fractions[1][0]; math.Abs(got-1) > 1e-9 {
+		t.Fatalf("dataset 1 fraction on rack 0 = %g, want 1", got)
+	}
+	// Dataset 2: consumer on rack 3.
+	if got := p.Fractions[2][3]; math.Abs(got-1) > 1e-9 {
+		t.Fatalf("dataset 2 fraction on rack 3 = %g, want 1", got)
+	}
+	if CrossRackReadBytes(in, p) > 1e-9 {
+		t.Fatalf("cross-rack bytes = %g, want 0", CrossRackReadBytes(in, p))
+	}
+}
+
+func TestPlaceBeatsBaselines(t *testing.T) {
+	in := simpleInput()
+	p, _ := Place(in)
+	smart := CrossRackReadBytes(in, p)
+	uniform := CrossRackReadBytes(in, UniformPlacement(in))
+	perJob := CrossRackReadBytes(in, PerJobPlacement(in))
+	if smart > uniform {
+		t.Fatalf("greedy %g worse than uniform %g", smart, uniform)
+	}
+	if smart > perJob {
+		t.Fatalf("greedy %g worse than per-job %g", smart, perJob)
+	}
+	// Uniform leaves most reads remote on a 4-rack cluster.
+	if uniform <= smart {
+		t.Fatalf("uniform %g should exceed dataset-aware %g here", uniform, smart)
+	}
+}
+
+func TestSharedDatasetConflict(t *testing.T) {
+	// One dataset read by two jobs on disjoint racks: per-job placement
+	// strands the second consumer; the greedy picks the heavier side.
+	in := Input{
+		Racks:    2,
+		Datasets: []Dataset{{ID: 1, Bytes: 10}},
+		Reads: []Read{
+			{DatasetID: 1, JobID: 1, Bytes: 30}, // rack 0
+			{DatasetID: 1, JobID: 2, Bytes: 70}, // rack 1
+		},
+		JobRacks: map[int][]int{1: {0}, 2: {1}},
+	}
+	p, err := Place(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Fractions[1][1] < 0.99 {
+		t.Fatalf("dataset should follow the heavier consumer: %v", p.Fractions[1])
+	}
+	if got := CrossRackReadBytes(in, p); math.Abs(got-30) > 1e-9 {
+		t.Fatalf("cross-rack = %g, want 30 (the lighter consumer)", got)
+	}
+}
+
+func TestCapacityForcesSplit(t *testing.T) {
+	in := Input{
+		Racks:        2,
+		RackCapacity: 60,
+		Datasets:     []Dataset{{ID: 1, Bytes: 100}},
+		Reads:        []Read{{DatasetID: 1, JobID: 1, Bytes: 100}},
+		JobRacks:     map[int][]int{1: {0}},
+	}
+	p, err := Place(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only 60 of 100 bytes fit on rack 0; the rest spills to rack 1.
+	if p.Fractions[1][0] > 0.6+1e-9 {
+		t.Fatalf("capacity violated: %v", p.Fractions[1])
+	}
+	sum := p.Fractions[1][0] + p.Fractions[1][1]
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("fractions sum to %g", sum)
+	}
+}
+
+func TestUnreadDatasetStillPlaced(t *testing.T) {
+	in := Input{
+		Racks:    3,
+		Datasets: []Dataset{{ID: 1, Bytes: 10}},
+	}
+	p, err := Place(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, f := range p.Fractions[1] {
+		sum += f
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("unread dataset fractions sum to %g", sum)
+	}
+}
+
+// Property: fractions are a distribution per dataset, capacities hold, and
+// the greedy never does worse than uniform or per-job placement.
+func TestQuickPlacementDominance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		racks := rng.Intn(6) + 2
+		nd := rng.Intn(8) + 1
+		nj := rng.Intn(10) + 1
+		in := Input{Racks: racks, JobRacks: map[int][]int{}}
+		for d := 1; d <= nd; d++ {
+			in.Datasets = append(in.Datasets, Dataset{ID: d, Bytes: float64(rng.Intn(100) + 1)})
+		}
+		for j := 1; j <= nj; j++ {
+			k := rng.Intn(racks) + 1
+			perm := rng.Perm(racks)
+			in.JobRacks[j] = perm[:k]
+			reads := rng.Intn(3) + 1
+			for x := 0; x < reads; x++ {
+				in.Reads = append(in.Reads, Read{
+					DatasetID: rng.Intn(nd) + 1,
+					JobID:     j,
+					Bytes:     float64(rng.Intn(1000) + 1),
+				})
+			}
+		}
+		p, err := Place(in)
+		if err != nil {
+			return false
+		}
+		for _, d := range in.Datasets {
+			sum := 0.0
+			for _, fr := range p.Fractions[d.ID] {
+				if fr < -1e-9 {
+					return false
+				}
+				sum += fr
+			}
+			if math.Abs(sum-1) > 1e-6 {
+				return false
+			}
+		}
+		smart := CrossRackReadBytes(in, p)
+		if smart > CrossRackReadBytes(in, UniformPlacement(in))+1e-6 {
+			return false
+		}
+		if smart > CrossRackReadBytes(in, PerJobPlacement(in))+1e-6 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,211 @@
+// Package dfs models the distributed file system (HDFS in the paper) that
+// stores job input and output data as replicated blocks.
+//
+// The paper's fault-tolerance policy (§2): data is divided into chunks,
+// each replicated three times — two replicas on one rack, the third on a
+// different rack, every chunk placed independently.
+//
+// Corral's modification (§3.1, §5): for planned jobs, one replica of each
+// chunk is placed on a randomly chosen rack from the job's assigned rack
+// set R_j; the remaining replicas go to another rack chosen from the rest
+// of the cluster. §4.5 additionally supplements the plan by "greedily
+// placing the last two data replicas on the least loaded rack".
+package dfs
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"corral/internal/topology"
+)
+
+// DefaultBlockSize is the chunk size used when a Config leaves it zero.
+const DefaultBlockSize = 256 * 1 << 20 // 256 MB
+
+// Block is one replicated chunk of a file.
+type Block struct {
+	Size     float64
+	Replicas []int // machine indices, first is the "primary" replica
+}
+
+// File is a named collection of blocks.
+type File struct {
+	Name   string
+	Size   float64
+	Blocks []Block
+}
+
+// Placement decides where one block's replicas live.
+type Placement interface {
+	// Place returns the replica machines for one block. It may consult the
+	// store's load accounting through the provided view.
+	Place(view *View, rng *rand.Rand) []int
+	Name() string
+}
+
+// View gives placement policies read access to cluster shape and current
+// load.
+type View struct {
+	Cluster      *topology.Cluster
+	machineBytes []float64
+	rackBytes    []float64
+}
+
+// MachineBytes returns bytes currently stored on machine m.
+func (v *View) MachineBytes(m int) float64 { return v.machineBytes[m] }
+
+// RackBytes returns bytes currently stored on rack r.
+func (v *View) RackBytes(r int) float64 { return v.rackBytes[r] }
+
+// LeastLoadedMachineInRack returns the machine in rack r with the fewest
+// stored bytes, excluding machines in the exclude set (pass nil for none).
+func (v *View) LeastLoadedMachineInRack(r int, exclude map[int]bool) int {
+	lo, hi := v.Cluster.MachinesInRack(r)
+	best, bestBytes := -1, math.Inf(1)
+	for m := lo; m < hi; m++ {
+		if exclude[m] {
+			continue
+		}
+		if v.machineBytes[m] < bestBytes {
+			best, bestBytes = m, v.machineBytes[m]
+		}
+	}
+	return best
+}
+
+// LeastLoadedRack returns the rack with the fewest stored bytes, excluding
+// racks in the exclude set.
+func (v *View) LeastLoadedRack(exclude map[int]bool) int {
+	best, bestBytes := -1, math.Inf(1)
+	for r := 0; r < v.Cluster.Config.Racks; r++ {
+		if exclude[r] {
+			continue
+		}
+		if v.rackBytes[r] < bestBytes {
+			best, bestBytes = r, v.rackBytes[r]
+		}
+	}
+	return best
+}
+
+// Store is the file system: a set of files plus per-machine load
+// accounting.
+type Store struct {
+	cluster   *topology.Cluster
+	blockSize float64
+	rng       *rand.Rand
+	files     map[string]*File
+	view      View
+}
+
+// New creates an empty store. blockSize <= 0 selects DefaultBlockSize.
+// The rng drives replica placement; callers seed it for determinism.
+func New(cluster *topology.Cluster, blockSize float64, rng *rand.Rand) *Store {
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	s := &Store{
+		cluster:   cluster,
+		blockSize: blockSize,
+		rng:       rng,
+		files:     make(map[string]*File),
+	}
+	s.view = View{
+		Cluster:      cluster,
+		machineBytes: make([]float64, cluster.Config.Machines()),
+		rackBytes:    make([]float64, cluster.Config.Racks),
+	}
+	return s
+}
+
+// BlockSize returns the store's chunk size in bytes.
+func (s *Store) BlockSize() float64 { return s.blockSize }
+
+// View exposes load accounting (read-only by convention).
+func (s *Store) View() *View { return &s.view }
+
+// Create writes a file of the given size, placing each block independently
+// with the policy. It returns an error if the name already exists.
+func (s *Store) Create(name string, size float64, policy Placement) (*File, error) {
+	if _, ok := s.files[name]; ok {
+		return nil, fmt.Errorf("dfs: file %q already exists", name)
+	}
+	if size < 0 {
+		return nil, fmt.Errorf("dfs: negative file size %g", size)
+	}
+	f := &File{Name: name, Size: size}
+	nBlocks := int(math.Ceil(size / s.blockSize))
+	if size > 0 && nBlocks == 0 {
+		nBlocks = 1
+	}
+	rest := size
+	for i := 0; i < nBlocks; i++ {
+		b := Block{Size: math.Min(s.blockSize, rest)}
+		rest -= b.Size
+		b.Replicas = policy.Place(&s.view, s.rng)
+		if len(b.Replicas) == 0 {
+			return nil, fmt.Errorf("dfs: policy %s returned no replicas", policy.Name())
+		}
+		for _, m := range b.Replicas {
+			s.view.machineBytes[m] += b.Size
+			s.view.rackBytes[s.cluster.RackOf(m)] += b.Size
+		}
+		f.Blocks = append(f.Blocks, b)
+	}
+	s.files[name] = f
+	return f, nil
+}
+
+// Open returns the named file, or nil if absent.
+func (s *Store) Open(name string) *File { return s.files[name] }
+
+// ClosestReplica returns the replica of block b that is cheapest for a
+// reader on machine m: same machine, then same rack, then any (first)
+// remote replica.
+func (s *Store) ClosestReplica(b *Block, m int) int {
+	for _, r := range b.Replicas {
+		if r == m {
+			return r
+		}
+	}
+	for _, r := range b.Replicas {
+		if s.cluster.SameRack(r, m) {
+			return r
+		}
+	}
+	return b.Replicas[0]
+}
+
+// RackCoV returns the coefficient of variation of bytes stored per rack —
+// the paper's data-balance metric (§6.2: Corral ≤ 0.004 vs HDFS ≤ 0.014).
+func (s *Store) RackCoV() float64 {
+	n := float64(len(s.view.rackBytes))
+	if n == 0 {
+		return 0
+	}
+	mean := 0.0
+	for _, b := range s.view.rackBytes {
+		mean += b
+	}
+	mean /= n
+	if mean == 0 {
+		return 0
+	}
+	variance := 0.0
+	for _, b := range s.view.rackBytes {
+		d := b - mean
+		variance += d * d
+	}
+	variance /= n
+	return math.Sqrt(variance) / mean
+}
+
+// TotalBytes returns the total stored bytes across all replicas.
+func (s *Store) TotalBytes() float64 {
+	t := 0.0
+	for _, b := range s.view.machineBytes {
+		t += b
+	}
+	return t
+}

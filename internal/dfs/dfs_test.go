@@ -1,0 +1,258 @@
+package dfs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"corral/internal/topology"
+)
+
+const gbps = 1e9 / 8
+
+func testCluster() *topology.Cluster {
+	return topology.MustNew(topology.Config{
+		Racks:            7,
+		MachinesPerRack:  30,
+		SlotsPerMachine:  8,
+		NICBandwidth:     10 * gbps,
+		Oversubscription: 5,
+	})
+}
+
+func newStore(seed int64) *Store {
+	return New(testCluster(), 0, rand.New(rand.NewSource(seed)))
+}
+
+func TestCreateBasics(t *testing.T) {
+	s := newStore(1)
+	size := 3.5 * DefaultBlockSize
+	f, err := s.Create("input", size, DefaultPlacement{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Blocks) != 4 {
+		t.Fatalf("blocks = %d, want 4", len(f.Blocks))
+	}
+	total := 0.0
+	for i, b := range f.Blocks {
+		total += b.Size
+		if len(b.Replicas) != 3 {
+			t.Fatalf("block %d has %d replicas, want 3", i, len(b.Replicas))
+		}
+	}
+	if math.Abs(total-size) > 1 {
+		t.Fatalf("sum of block sizes = %g, want %g", total, size)
+	}
+	// Last block is the remainder.
+	if got := f.Blocks[3].Size; math.Abs(got-0.5*DefaultBlockSize) > 1 {
+		t.Fatalf("last block size = %g, want half block", got)
+	}
+	if s.Open("input") != f {
+		t.Fatal("Open did not return the created file")
+	}
+	if s.Open("absent") != nil {
+		t.Fatal("Open returned a file for an absent name")
+	}
+}
+
+func TestCreateErrors(t *testing.T) {
+	s := newStore(1)
+	if _, err := s.Create("f", 100, DefaultPlacement{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Create("f", 100, DefaultPlacement{}); err == nil {
+		t.Fatal("duplicate create did not error")
+	}
+	if _, err := s.Create("g", -1, DefaultPlacement{}); err == nil {
+		t.Fatal("negative size did not error")
+	}
+}
+
+func TestZeroByteFile(t *testing.T) {
+	s := newStore(1)
+	f, err := s.Create("empty", 0, DefaultPlacement{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Blocks) != 0 {
+		t.Fatalf("empty file has %d blocks, want 0", len(f.Blocks))
+	}
+}
+
+func TestDefaultPlacementFaultTolerance(t *testing.T) {
+	// Every chunk must span exactly two racks: replicas {1 on rack A, 2 on
+	// rack B} per the paper's §2 policy (as arranged by assignReplicas).
+	s := newStore(7)
+	cl := testCluster()
+	f, err := s.Create("big", 50*DefaultBlockSize, DefaultPlacement{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range f.Blocks {
+		racks := map[int]int{}
+		for _, m := range b.Replicas {
+			racks[cl.RackOf(m)]++
+		}
+		if len(racks) != 2 {
+			t.Fatalf("block %d spans %d racks, want 2", i, len(racks))
+		}
+		// No two replicas on the same machine.
+		seen := map[int]bool{}
+		for _, m := range b.Replicas {
+			if seen[m] {
+				t.Fatalf("block %d has duplicate replica machine %d", i, m)
+			}
+			seen[m] = true
+		}
+	}
+}
+
+func TestCorralPlacementTargetsRacks(t *testing.T) {
+	s := newStore(3)
+	cl := testCluster()
+	target := []int{2, 5}
+	f, err := s.Create("planned", 40*DefaultBlockSize, CorralPlacement{Racks: target})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range f.Blocks {
+		primary := cl.RackOf(b.Replicas[0])
+		if primary != 2 && primary != 5 {
+			t.Fatalf("block %d primary replica on rack %d, want one of %v", i, primary, target)
+		}
+		// Remaining replicas on a single different rack.
+		other := cl.RackOf(b.Replicas[1])
+		if other == primary {
+			t.Fatalf("block %d: remote replicas on the primary rack", i)
+		}
+		if cl.RackOf(b.Replicas[2]) != other {
+			t.Fatalf("block %d: third replica not co-racked with second", i)
+		}
+	}
+}
+
+func TestCorralPlacementEmptyRacksPanics(t *testing.T) {
+	s := newStore(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty rack set did not panic")
+		}
+	}()
+	s.Create("x", 100, CorralPlacement{})
+}
+
+func TestClosestReplica(t *testing.T) {
+	s := newStore(1)
+	b := &Block{Size: 1, Replicas: []int{5, 40, 100}}
+	if got := s.ClosestReplica(b, 5); got != 5 {
+		t.Fatalf("same-machine replica = %d, want 5", got)
+	}
+	// Machine 10 is in rack 0 with replica 5.
+	if got := s.ClosestReplica(b, 10); got != 5 {
+		t.Fatalf("same-rack replica = %d, want 5", got)
+	}
+	// Machine 200 (rack 6) shares no rack: falls back to first replica.
+	if got := s.ClosestReplica(b, 200); got != 5 {
+		t.Fatalf("remote fallback = %d, want 5", got)
+	}
+	// Machine 41 is in rack 1 with replica 40.
+	if got := s.ClosestReplica(b, 41); got != 40 {
+		t.Fatalf("same-rack preference = %d, want 40", got)
+	}
+}
+
+func TestRackCoVImprovesWithLeastLoaded(t *testing.T) {
+	// Corral placement (least-loaded remote rack) should yield lower CoV
+	// than default random placement, mirroring §6.2 (0.004 vs 0.014).
+	corral := newStore(11)
+	def := newStore(11)
+	for i := 0; i < 60; i++ {
+		name := string(rune('a'+i%26)) + string(rune('0'+i/26))
+		// Rotate target racks like a planner output would.
+		corral.Create(name, 4*DefaultBlockSize, CorralPlacement{Racks: []int{i % 7}})
+		def.Create(name, 4*DefaultBlockSize, DefaultPlacement{})
+	}
+	if corral.RackCoV() > def.RackCoV() {
+		t.Fatalf("Corral CoV %g > default CoV %g", corral.RackCoV(), def.RackCoV())
+	}
+	if corral.RackCoV() > 0.05 {
+		t.Fatalf("Corral CoV %g, want near 0", corral.RackCoV())
+	}
+}
+
+func TestTotalBytesAccounting(t *testing.T) {
+	s := newStore(1)
+	s.Create("f", 2*DefaultBlockSize, DefaultPlacement{})
+	want := 3 * 2 * DefaultBlockSize // 3 replicas
+	if got := s.TotalBytes(); math.Abs(got-float64(want)) > 1 {
+		t.Fatalf("TotalBytes = %g, want %g", got, float64(want))
+	}
+}
+
+func TestFixedPlacement(t *testing.T) {
+	s := newStore(1)
+	f, err := s.Create("pinned", 100, FixedPlacement{Machines: []int{3, 33, 63}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := f.Blocks[0].Replicas
+	if got[0] != 3 || got[1] != 33 || got[2] != 63 {
+		t.Fatalf("replicas = %v, want [3 33 63]", got)
+	}
+}
+
+func TestConfigurableReplication(t *testing.T) {
+	s := newStore(1)
+	f, _ := s.Create("r2", 100, DefaultPlacement{Replicas: 2})
+	if len(f.Blocks[0].Replicas) != 2 {
+		t.Fatalf("replicas = %d, want 2", len(f.Blocks[0].Replicas))
+	}
+}
+
+// Property: any sequence of default-policy creates keeps replica invariants:
+// 3 distinct machines, exactly 2 racks, accounting consistent.
+func TestQuickPlacementInvariants(t *testing.T) {
+	cl := testCluster()
+	f := func(seed int64, sizes []uint16) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		s := New(cl, 0, rand.New(rand.NewSource(seed)))
+		expectTotal := 0.0
+		for i, sz := range sizes {
+			size := float64(sz) * 1e7
+			name := "f" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) + string(rune('a'+i/676))
+			file, err := s.Create(name, size, DefaultPlacement{})
+			if err != nil {
+				return false
+			}
+			for _, b := range file.Blocks {
+				expectTotal += 3 * b.Size
+				if len(b.Replicas) != 3 {
+					return false
+				}
+				racks := map[int]bool{}
+				machines := map[int]bool{}
+				for _, m := range b.Replicas {
+					if m < 0 || m >= cl.Config.Machines() {
+						return false
+					}
+					racks[cl.RackOf(m)] = true
+					if machines[m] {
+						return false
+					}
+					machines[m] = true
+				}
+				if len(racks) != 2 {
+					return false
+				}
+			}
+		}
+		return math.Abs(s.TotalBytes()-expectTotal) < 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,123 @@
+package dfs
+
+import "math/rand"
+
+// DefaultPlacement is the HDFS-like policy from §2: for each chunk, two
+// replicas on one (randomly chosen) rack and the third on a different
+// rack, each chunk placed independently and uniformly at random — both the
+// racks and the machines within them. The resulting spread is what gives
+// HDFS its per-rack CoV of ~0.014 in §6.2.
+type DefaultPlacement struct {
+	Replicas int // 0 means 3
+}
+
+// Name implements Placement.
+func (DefaultPlacement) Name() string { return "hdfs-default" }
+
+// Place implements Placement.
+func (p DefaultPlacement) Place(view *View, rng *rand.Rand) []int {
+	n := p.Replicas
+	if n == 0 {
+		n = 3
+	}
+	racks := view.Cluster.Config.Racks
+	primaryRack := rng.Intn(racks)
+	var remoteRack int
+	if racks == 1 {
+		remoteRack = primaryRack
+	} else {
+		remoteRack = rng.Intn(racks - 1)
+		if remoteRack >= primaryRack {
+			remoteRack++
+		}
+	}
+	replicas := make([]int, 0, n)
+	used := make(map[int]bool, n)
+	pick := func(rack int) {
+		lo, hi := view.Cluster.MachinesInRack(rack)
+		for tries := 0; ; tries++ {
+			m := lo + rng.Intn(hi-lo)
+			if !used[m] || tries > 8 || hi-lo <= len(replicas) {
+				used[m] = true
+				replicas = append(replicas, m)
+				return
+			}
+		}
+	}
+	pick(primaryRack)
+	for i := 1; i < n; i++ {
+		pick(remoteRack)
+	}
+	return replicas
+}
+
+// CorralPlacement implements the joint data/compute placement policy
+// (§3.1): one replica of each chunk goes to a randomly chosen rack from
+// the job's assigned rack set R_j; the remaining replicas go to another
+// rack. Per §4.5 the supplementary heuristic places the last replicas on
+// the least-loaded rack, which together with the planner's imbalance
+// penalty keeps input data balanced across the cluster.
+type CorralPlacement struct {
+	Racks    []int // the job's assigned racks R_j; must be non-empty
+	Replicas int   // 0 means 3
+}
+
+// Name implements Placement.
+func (CorralPlacement) Name() string { return "corral" }
+
+// Place implements Placement.
+func (p CorralPlacement) Place(view *View, rng *rand.Rand) []int {
+	n := p.Replicas
+	if n == 0 {
+		n = 3
+	}
+	if len(p.Racks) == 0 {
+		panic("dfs: CorralPlacement with empty rack set")
+	}
+	primaryRack := p.Racks[rng.Intn(len(p.Racks))]
+	var remoteRack int
+	if view.Cluster.Config.Racks == 1 {
+		remoteRack = primaryRack
+	} else {
+		remoteRack = view.LeastLoadedRack(map[int]bool{primaryRack: true})
+	}
+	return assignReplicas(view, n, primaryRack, remoteRack)
+}
+
+// assignReplicas puts the first replica on the primary rack and the
+// remaining n-1 on the remote rack (the 2-plus-1 pattern with the single
+// copy on the primary rack, which is the Corral arrangement; for the
+// default policy the labels are symmetric so the same split reproduces
+// "two on one rack, one on another" with the roles swapped).
+func assignReplicas(view *View, n, primaryRack, remoteRack int) []int {
+	replicas := make([]int, 0, n)
+	used := make(map[int]bool, n)
+	pick := func(rack int) {
+		m := view.LeastLoadedMachineInRack(rack, used)
+		if m < 0 {
+			// Rack exhausted (more replicas than machines); reuse allowed.
+			m = view.LeastLoadedMachineInRack(rack, nil)
+		}
+		used[m] = true
+		replicas = append(replicas, m)
+	}
+	pick(primaryRack)
+	for i := 1; i < n; i++ {
+		pick(remoteRack)
+	}
+	return replicas
+}
+
+// FixedPlacement pins every replica to an explicit machine list; used in
+// tests to construct exact scenarios.
+type FixedPlacement struct{ Machines []int }
+
+// Name implements Placement.
+func (FixedPlacement) Name() string { return "fixed" }
+
+// Place implements Placement.
+func (p FixedPlacement) Place(view *View, rng *rand.Rand) []int {
+	out := make([]int, len(p.Machines))
+	copy(out, p.Machines)
+	return out
+}

@@ -1,0 +1,152 @@
+// Package metrics provides the summary statistics the evaluation reports:
+// percentiles/CDFs of completion times, percentage reductions relative to
+// a baseline, and coefficient of variation.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Percentile returns the q-quantile (q in [0,1]) of values using nearest-
+// rank on a sorted copy. Returns NaN for empty input.
+func Percentile(values []float64, q float64) float64 {
+	if len(values) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	idx := q * float64(len(sorted)-1)
+	lo := int(math.Floor(idx))
+	hi := int(math.Ceil(idx))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := idx - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean, NaN for empty input.
+func Mean(values []float64) float64 {
+	if len(values) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, v := range values {
+		s += v
+	}
+	return s / float64(len(values))
+}
+
+// Reduction returns the percentage reduction of value relative to base:
+// 100·(base − value)/base. Positive means value improved on base.
+func Reduction(base, value float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * (base - value) / base
+}
+
+// CoV returns the coefficient of variation (σ/μ), 0 for empty or zero-mean
+// input.
+func CoV(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	mean := Mean(values)
+	if mean == 0 {
+		return 0
+	}
+	variance := 0.0
+	for _, v := range values {
+		d := v - mean
+		variance += d * d
+	}
+	variance /= float64(len(values))
+	return math.Sqrt(variance) / mean
+}
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	Value    float64
+	Fraction float64
+}
+
+// CDF returns the empirical CDF of values at n evenly spaced fractions
+// (plus the max at fraction 1).
+func CDF(values []float64, n int) []CDFPoint {
+	if len(values) == 0 || n <= 0 {
+		return nil
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	out := make([]CDFPoint, 0, n)
+	for i := 1; i <= n; i++ {
+		f := float64(i) / float64(n)
+		idx := int(math.Ceil(f*float64(len(sorted)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		out = append(out, CDFPoint{Value: sorted[idx], Fraction: f})
+	}
+	return out
+}
+
+// Table is a simple fixed-column text table for experiment output.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// F formats a float at the given precision for table cells.
+func F(v float64, prec int) string { return fmt.Sprintf("%.*f", prec, v) }
+
+// Pct formats a percentage cell.
+func Pct(v float64) string { return fmt.Sprintf("%.1f%%", v) }

@@ -1,0 +1,161 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPercentile(t *testing.T) {
+	v := []float64{4, 1, 3, 2, 5}
+	if got := Percentile(v, 0); got != 1 {
+		t.Fatalf("p0 = %g", got)
+	}
+	if got := Percentile(v, 1); got != 5 {
+		t.Fatalf("p100 = %g", got)
+	}
+	if got := Percentile(v, 0.5); got != 3 {
+		t.Fatalf("p50 = %g", got)
+	}
+	// Interpolated.
+	if got := Percentile([]float64{0, 10}, 0.25); math.Abs(got-2.5) > 1e-9 {
+		t.Fatalf("interpolated p25 = %g, want 2.5", got)
+	}
+	if !math.IsNaN(Percentile(nil, 0.5)) {
+		t.Fatal("empty percentile not NaN")
+	}
+	// Input must not be mutated.
+	if v[0] != 4 {
+		t.Fatal("Percentile mutated its input")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("mean = %g", got)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("empty mean not NaN")
+	}
+}
+
+func TestReduction(t *testing.T) {
+	if got := Reduction(100, 75); got != 25 {
+		t.Fatalf("Reduction = %g, want 25", got)
+	}
+	if got := Reduction(100, 120); got != -20 {
+		t.Fatalf("Reduction = %g, want -20", got)
+	}
+	if got := Reduction(0, 5); got != 0 {
+		t.Fatalf("Reduction with zero base = %g, want 0", got)
+	}
+}
+
+func TestCoV(t *testing.T) {
+	if got := CoV([]float64{5, 5, 5}); got != 0 {
+		t.Fatalf("uniform CoV = %g", got)
+	}
+	got := CoV([]float64{0, 10})
+	if math.Abs(got-1) > 1e-9 {
+		t.Fatalf("CoV = %g, want 1", got)
+	}
+	if CoV(nil) != 0 {
+		t.Fatal("empty CoV != 0")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	pts := CDF([]float64{3, 1, 2, 4}, 4)
+	if len(pts) != 4 {
+		t.Fatalf("CDF points = %d", len(pts))
+	}
+	want := []float64{1, 2, 3, 4}
+	for i, p := range pts {
+		if p.Value != want[i] {
+			t.Fatalf("CDF[%d] = %+v, want value %g", i, p, want[i])
+		}
+		if p.Fraction != float64(i+1)/4 {
+			t.Fatalf("CDF[%d] fraction = %g", i, p.Fraction)
+		}
+	}
+	if CDF(nil, 4) != nil {
+		t.Fatal("empty CDF not nil")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := Table{Title: "demo", Columns: []string{"name", "value"}}
+	tb.AddRow("alpha", F(1.5, 2))
+	tb.AddRow("b", Pct(33.3333))
+	s := tb.String()
+	if !strings.Contains(s, "== demo ==") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(s, "1.50") || !strings.Contains(s, "33.3%") {
+		t.Fatalf("missing cells in:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("rendered %d lines, want 4", len(lines))
+	}
+}
+
+// Property: percentile is monotone in q and bounded by min/max.
+func TestQuickPercentileMonotone(t *testing.T) {
+	f := func(raw []float64) bool {
+		var v []float64
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				v = append(v, x)
+			}
+		}
+		if len(v) == 0 {
+			return true
+		}
+		sorted := append([]float64(nil), v...)
+		sort.Float64s(sorted)
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			p := Percentile(v, q)
+			if p < prev-1e-9 || p < sorted[0] || p > sorted[len(sorted)-1] {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CDF values are nondecreasing and end at the max.
+func TestQuickCDFMonotone(t *testing.T) {
+	f := func(raw []float64) bool {
+		var v []float64
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				v = append(v, x)
+			}
+		}
+		if len(v) == 0 {
+			return true
+		}
+		pts := CDF(v, 10)
+		prev := math.Inf(-1)
+		for _, p := range pts {
+			if p.Value < prev {
+				return false
+			}
+			prev = p.Value
+		}
+		sorted := append([]float64(nil), v...)
+		sort.Float64s(sorted)
+		return pts[len(pts)-1].Value == sorted[len(sorted)-1]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,322 @@
+// Package netsim is a flow-level network simulator over the two-level
+// topology. It reproduces the modelling approach of the paper's §6.6
+// simulator: flows share links according to a pluggable bandwidth-allocation
+// policy — max-min fairness to emulate TCP, or a Varys-style coflow
+// scheduler (SEBF + MADD with work-conserving backfill).
+//
+// The simulator is event-driven: whenever the active flow set changes, all
+// flow rates are recomputed and a single completion event is scheduled for
+// the earliest-finishing flow. Flows between machines in the same rack use
+// only the two NICs (full bisection in-rack); cross-rack flows additionally
+// traverse the oversubscribed rack uplink and downlink.
+package netsim
+
+import (
+	"fmt"
+	"math"
+
+	"corral/internal/des"
+	"corral/internal/topology"
+)
+
+// CoflowID groups flows whose collective completion matters (e.g., one
+// job's shuffle). Zero means "no coflow" — such flows are scheduled as
+// plain TCP-like flows even under the coflow policy.
+type CoflowID int64
+
+// Flow is one in-flight transfer.
+type Flow struct {
+	ID        int64
+	Src, Dst  int // machine indices
+	Bytes     float64
+	Coflow    CoflowID
+	JobID     int // for cross-rack accounting; -1 for background/unattributed
+	CrossRack bool
+
+	path      []topology.LinkID
+	remaining float64
+	rate      float64
+	done      func(*Flow)
+	canceled  bool
+}
+
+// Canceled reports whether the flow was aborted via Network.Cancel.
+func (f *Flow) Canceled() bool { return f.canceled }
+
+// Remaining returns the bytes this flow still has to transfer (as of the
+// last rate recomputation).
+func (f *Flow) Remaining() float64 { return f.remaining }
+
+// Rate returns the flow's current allocated rate in bytes/sec.
+func (f *Flow) Rate() float64 { return f.rate }
+
+// Policy allocates rates to the active flows. Implementations must fill
+// f.rate for every flow, never exceed any link capacity in aggregate, and
+// never assign a negative rate.
+type Policy interface {
+	// Allocate assigns rates to flows. caps[linkID] is each link's
+	// capacity; scratch is a reusable buffer of the same length holding
+	// remaining capacity (contents are overwritten).
+	Allocate(flows []*Flow, caps []float64, scratch []float64)
+	Name() string
+}
+
+// Network multiplexes flows over a cluster's links.
+type Network struct {
+	sim     *des.Simulator
+	cluster *topology.Cluster
+	policy  Policy
+
+	flows   []*Flow
+	nextID  int64
+	caps    []float64
+	scratch []float64
+
+	lastAdvance  des.Time
+	completionEv *des.Event
+	recomputeEv  *des.Event
+
+	// LoopbackRate is the transfer rate for src==dst "flows" (data that
+	// never touches the network, e.g. a local disk read). Defaults to
+	// effectively instantaneous.
+	LoopbackRate float64
+
+	// Accounting.
+	totalCross  float64
+	crossByJob  map[int]float64
+	totalBytes  float64
+	flowsServed int64
+	linkBytes   []float64 // bytes carried per link, for utilization stats
+}
+
+// New creates a network over the cluster driven by the simulator's clock.
+func New(sim *des.Simulator, cluster *topology.Cluster, policy Policy) *Network {
+	links := cluster.Links()
+	caps := make([]float64, len(links))
+	for i, l := range links {
+		caps[i] = l.Capacity
+	}
+	return &Network{
+		sim:          sim,
+		cluster:      cluster,
+		policy:       policy,
+		caps:         caps,
+		scratch:      make([]float64, len(links)),
+		LoopbackRate: 1e12, // ~instantaneous local copy
+		crossByJob:   make(map[int]float64),
+		linkBytes:    make([]float64, len(links)),
+	}
+}
+
+// ActiveFlows returns the number of currently active flows.
+func (n *Network) ActiveFlows() int { return len(n.flows) }
+
+// CrossRackBytes returns total bytes carried over rack-to-core links.
+func (n *Network) CrossRackBytes() float64 { return n.totalCross }
+
+// CrossRackBytesByJob returns cross-rack bytes attributed to jobID.
+func (n *Network) CrossRackBytesByJob(jobID int) float64 { return n.crossByJob[jobID] }
+
+// TotalBytes returns all bytes transferred over the network (excluding
+// loopback copies).
+func (n *Network) TotalBytes() float64 { return n.totalBytes }
+
+// FlowsServed returns the number of completed flows.
+func (n *Network) FlowsServed() int64 { return n.flowsServed }
+
+// Start begins a transfer of bytes from machine src to machine dst.
+// done, if non-nil, is invoked when the transfer finishes. Zero-byte flows
+// complete via an immediate event (never synchronously), so callers can
+// safely start them from inside other completion callbacks.
+func (n *Network) Start(src, dst int, bytes float64, coflow CoflowID, jobID int, done func(*Flow)) *Flow {
+	if src == dst {
+		return n.StartPath(nil, false, bytes, coflow, jobID, done)
+	}
+	path, cross := n.cluster.Path(src, dst)
+	f := n.StartPath(path, cross, bytes, coflow, jobID, done)
+	f.Src, f.Dst = src, dst
+	return f
+}
+
+// StartPath begins a transfer over an explicit link path. The execution
+// engine uses this for rack-aggregated shuffle transfers whose "source" is
+// a set of machines rather than one NIC. An empty path is a loopback copy
+// at LoopbackRate, outside network sharing.
+func (n *Network) StartPath(path []topology.LinkID, crossRack bool, bytes float64, coflow CoflowID, jobID int, done func(*Flow)) *Flow {
+	if bytes < 0 {
+		panic(fmt.Sprintf("netsim: negative flow size %g", bytes))
+	}
+	n.nextID++
+	f := &Flow{
+		ID:        n.nextID,
+		Src:       -1,
+		Dst:       -1,
+		Bytes:     bytes,
+		Coflow:    coflow,
+		JobID:     jobID,
+		CrossRack: crossRack,
+		path:      path,
+		done:      done,
+
+		remaining: bytes,
+	}
+	if len(path) == 0 {
+		// Local copy: fixed loopback rate, not subject to network sharing.
+		d := des.Time(bytes / n.LoopbackRate)
+		n.sim.After(d, func() {
+			if f.canceled {
+				return
+			}
+			n.flowsServed++
+			if f.done != nil {
+				f.done(f)
+			}
+		})
+		return f
+	}
+	n.flows = append(n.flows, f)
+	n.scheduleRecompute()
+	return f
+}
+
+// Cancel aborts an in-flight flow: its bandwidth is released at the next
+// recomputation and its completion callback never fires. Bytes already
+// transferred still count toward cross-rack accounting (they were really
+// sent). Canceling a finished or already-canceled flow is a no-op.
+// Loopback flows (empty path) cannot be canceled — their completion event
+// is already queued — but their callback is suppressed.
+func (n *Network) Cancel(f *Flow) {
+	if f == nil || f.canceled {
+		return
+	}
+	f.canceled = true
+	if len(f.path) > 0 {
+		n.scheduleRecompute()
+	}
+}
+
+// scheduleRecompute coalesces multiple same-instant flow-set changes into a
+// single rate recomputation.
+func (n *Network) scheduleRecompute() {
+	if n.recomputeEv != nil && !n.recomputeEv.Canceled() && n.recomputeEv.At() == n.sim.Now() {
+		return
+	}
+	n.recomputeEv = n.sim.After(0, n.recompute)
+}
+
+// advance charges elapsed time against every active flow's remaining bytes.
+func (n *Network) advance() {
+	now := n.sim.Now()
+	dt := float64(now - n.lastAdvance)
+	if dt > 0 {
+		for _, f := range n.flows {
+			moved := f.rate * dt
+			f.remaining -= moved
+			if f.remaining < 0 {
+				moved += f.remaining // clamp the overshoot
+				f.remaining = 0
+			}
+			for _, l := range f.path {
+				n.linkBytes[l] += moved
+			}
+		}
+	}
+	n.lastAdvance = now
+}
+
+const completionEpsilon = 1e-3 // bytes; below this a flow is done
+
+// recompute advances flows, completes finished ones, reallocates rates and
+// schedules the next completion event.
+func (n *Network) recompute() {
+	// Clear the pending-recompute marker first: this call consumes it.
+	// Without this, a flow-set change made by a *later* event at the same
+	// instant would see a stale recomputeEv with At() == Now() and wrongly
+	// skip scheduling, leaving flows without rates or completion events.
+	n.recomputeEv = nil
+	n.advance()
+
+	// Complete finished flows and drop canceled ones. Completion callbacks
+	// may start new flows; those schedule another recompute event rather
+	// than recursing.
+	var stillActive []*Flow
+	var completed []*Flow
+	for _, f := range n.flows {
+		switch {
+		case f.canceled:
+			// Account what actually crossed the wire before the abort.
+			sent := f.Bytes - f.remaining
+			if sent > 0 {
+				n.totalBytes += sent
+				if f.CrossRack {
+					n.totalCross += sent
+					if f.JobID >= 0 {
+						n.crossByJob[f.JobID] += sent
+					}
+				}
+			}
+			f.rate = 0
+		case f.remaining <= completionEpsilon:
+			completed = append(completed, f)
+		default:
+			stillActive = append(stillActive, f)
+		}
+	}
+	n.flows = stillActive
+	for _, f := range completed {
+		f.remaining = 0
+		f.rate = 0
+		n.flowsServed++
+		n.totalBytes += f.Bytes
+		if f.CrossRack {
+			n.totalCross += f.Bytes
+			if f.JobID >= 0 {
+				n.crossByJob[f.JobID] += f.Bytes
+			}
+		}
+		if f.done != nil {
+			f.done(f)
+		}
+	}
+
+	if n.completionEv != nil {
+		n.completionEv.Cancel()
+		n.completionEv = nil
+	}
+	if len(n.flows) == 0 {
+		return
+	}
+
+	n.policy.Allocate(n.flows, n.caps, n.scratch)
+
+	// Next completion.
+	next := math.Inf(1)
+	for _, f := range n.flows {
+		if f.rate <= 0 {
+			continue
+		}
+		t := f.remaining / f.rate
+		if t < next {
+			next = t
+		}
+	}
+	if math.IsInf(next, 1) {
+		// All flows starved; nothing will complete until the flow set
+		// changes again. This can only happen if some link has zero
+		// capacity, which Validate prevents — treat as a bug.
+		panic("netsim: all active flows starved with no pending change")
+	}
+	n.completionEv = n.sim.After(des.Time(next), n.recompute)
+}
+
+// LinkBytes returns the bytes carried so far by the given link.
+func (n *Network) LinkBytes(id topology.LinkID) float64 { return n.linkBytes[id] }
+
+// Rates returns a snapshot of (flow, rate) for inspection in tests.
+func (n *Network) Rates() map[int64]float64 {
+	out := make(map[int64]float64, len(n.flows))
+	for _, f := range n.flows {
+		out[f.ID] = f.rate
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+package netsim
+
+import (
+	"math"
+	"sort"
+)
+
+// Varys is a coflow-aware bandwidth allocator in the style of
+// Chowdhury et al., "Efficient Coflow Scheduling with Varys" (SIGCOMM'14),
+// which the paper combines with Corral in §6.6 (Fig 14).
+//
+// It implements the two core mechanisms:
+//
+//   - SEBF (smallest effective bottleneck first): coflows are served in
+//     increasing order of their bottleneck completion time Γ, computed on
+//     the links' remaining capacity.
+//   - MADD (minimum allocation for desired duration): within a coflow every
+//     flow gets just enough bandwidth to finish at Γ together, so no flow
+//     hogs capacity that cannot shorten the coflow.
+//
+// Leftover bandwidth is backfilled max-min across all flows (work
+// conservation), which is how Varys stays work-conserving in practice.
+// Flows without a coflow (Coflow == 0) only participate in the backfill
+// stage, i.e. they behave like background TCP flows.
+type Varys struct{}
+
+// Name implements Policy.
+func (Varys) Name() string { return "varys" }
+
+// Allocate implements Policy.
+func (Varys) Allocate(flows []*Flow, caps []float64, scratch []float64) {
+	remaining := scratch
+	copy(remaining, caps)
+
+	// Group flows by coflow.
+	groups := make(map[CoflowID][]*Flow)
+	var order []CoflowID
+	for _, f := range flows {
+		f.rate = 0
+		if f.Coflow == 0 {
+			continue
+		}
+		if _, seen := groups[f.Coflow]; !seen {
+			order = append(order, f.Coflow)
+		}
+		groups[f.Coflow] = append(groups[f.Coflow], f)
+	}
+
+	// SEBF: sort coflows by bottleneck duration on the *full* capacities
+	// (static ordering, as Varys' admission ordering does), then allocate
+	// greedily on remaining capacity.
+	type scored struct {
+		id    CoflowID
+		gamma float64
+	}
+	scoredCoflows := make([]scored, 0, len(order))
+	for _, id := range order {
+		scoredCoflows = append(scoredCoflows, scored{id, bottleneckDuration(groups[id], caps)})
+	}
+	sort.Slice(scoredCoflows, func(i, j int) bool {
+		if scoredCoflows[i].gamma != scoredCoflows[j].gamma {
+			return scoredCoflows[i].gamma < scoredCoflows[j].gamma
+		}
+		return scoredCoflows[i].id < scoredCoflows[j].id // deterministic
+	})
+
+	for _, sc := range scoredCoflows {
+		group := groups[sc.id]
+		gamma := bottleneckDuration(group, remaining)
+		if gamma <= 0 || math.IsInf(gamma, 1) { // zero-size or starved coflow
+			continue
+		}
+		// MADD: rate so that every flow finishes at gamma.
+		for _, f := range group {
+			r := f.remaining / gamma
+			// Clamp to what the path still has (guards numerical dust).
+			for _, l := range f.path {
+				if remaining[l] < r {
+					r = remaining[l]
+				}
+			}
+			if r < 0 {
+				r = 0
+			}
+			f.rate = r
+			for _, l := range f.path {
+				remaining[l] -= r
+				if remaining[l] < 0 {
+					remaining[l] = 0
+				}
+			}
+		}
+	}
+
+	// Work conservation: backfill remaining capacity max-min across all
+	// flows (coflow members included, on top of their MADD rates).
+	maxMinFill(flows, remaining, func(f *Flow) float64 { return f.rate })
+}
+
+// bottleneckDuration returns Γ: the smallest time in which the coflow's
+// flows could all finish given per-link capacities, i.e. the max over links
+// of (coflow bytes on the link / link capacity). Returns +Inf if any used
+// link has no capacity.
+func bottleneckDuration(group []*Flow, capacity []float64) float64 {
+	bytesOnLink := make([]float64, len(capacity))
+	for _, f := range group {
+		for _, l := range f.path {
+			bytesOnLink[int(l)] += f.remaining
+		}
+	}
+	gamma := 0.0
+	for l, b := range bytesOnLink {
+		if b == 0 {
+			continue
+		}
+		if capacity[l] <= 0 {
+			return math.Inf(1)
+		}
+		if d := b / capacity[l]; d > gamma {
+			gamma = d
+		}
+	}
+	return gamma
+}

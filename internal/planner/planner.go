@@ -1,0 +1,343 @@
+// Package planner implements Corral's offline planning algorithm (§4):
+// given predicted characteristics of future jobs, decide for every job j
+// the number of racks r_j, the concrete rack set R_j, a start time T_j and
+// a priority p_j, so as to minimize makespan (batch scenario) or average
+// completion time (online scenario).
+//
+// The algorithm decomposes into two phases (§4.2):
+//
+//   - Provisioning: start every job at one rack; repeatedly widen the job
+//     with the longest estimated latency by one rack until every job spans
+//     the whole cluster. Each of the J·R intermediate allocations is
+//     evaluated with the prioritization phase, and the best one wins.
+//
+//   - Prioritization (Fig 4): an extension of LPT/LIST scheduling. Jobs
+//     are sorted (batch: widest first, then longest; online: by arrival,
+//     ties broken as in batch) and greedily assigned the r_j racks that
+//     free up earliest.
+//
+// Latency estimates come from the response functions of internal/model,
+// optionally with the §4.5 data-imbalance penalty.
+package planner
+
+import (
+	"fmt"
+	"sort"
+
+	"corral/internal/job"
+	"corral/internal/model"
+)
+
+// Objective selects what the planner minimizes.
+type Objective int
+
+const (
+	// MinimizeMakespan is the batch scenario: all jobs arrive at time 0 and
+	// the last completion time matters.
+	MinimizeMakespan Objective = iota
+	// MinimizeAvgCompletion is the online scenario: jobs arrive over time
+	// and the mean of (completion − arrival) matters.
+	MinimizeAvgCompletion
+)
+
+func (o Objective) String() string {
+	if o == MinimizeMakespan {
+		return "makespan"
+	}
+	return "avg-completion"
+}
+
+// Input configures one planning run.
+type Input struct {
+	Cluster model.Cluster
+	Jobs    []*job.Job
+	// Alpha is the data-imbalance tradeoff coefficient (§4.5). Negative
+	// selects the paper's default (inverse rack-to-core bandwidth); zero
+	// disables the penalty.
+	Alpha     float64
+	Objective Objective
+}
+
+// Assignment is the planner's output for one job: the tuple {R_j, p_j}
+// plus the planned start time and the latency estimate behind it.
+type Assignment struct {
+	JobID      int
+	Racks      []int   // R_j, sorted ascending
+	Start      float64 // T_j
+	Priority   int     // p_j: 0 is highest; follows planned start order
+	EstLatency float64 // L'_j(r_j) used for the schedule
+}
+
+// End returns the planned completion time.
+func (a *Assignment) End() float64 { return a.Start + a.EstLatency }
+
+// Plan is a complete offline schedule.
+type Plan struct {
+	Assignments map[int]*Assignment // keyed by job ID
+	// Makespan and AvgCompletion are the *estimated* metrics of the chosen
+	// schedule under the response-function latencies.
+	Makespan      float64
+	AvgCompletion float64
+	Objective     Objective
+}
+
+// ObjectiveValue returns the metric the plan was optimized for.
+func (p *Plan) ObjectiveValue() float64 {
+	if p.Objective == MinimizeMakespan {
+		return p.Makespan
+	}
+	return p.AvgCompletion
+}
+
+// New runs the full two-phase planning algorithm.
+func New(in Input) (*Plan, error) {
+	J := len(in.Jobs)
+	R := in.Cluster.Racks
+	if R <= 0 {
+		return nil, fmt.Errorf("planner: cluster has %d racks", R)
+	}
+	plan := &Plan{Assignments: make(map[int]*Assignment, J), Objective: in.Objective}
+	if J == 0 {
+		return plan, nil
+	}
+	alpha := in.Alpha
+	if alpha < 0 {
+		alpha = in.Cluster.DefaultAlpha()
+	}
+
+	// Precompute response functions.
+	resp := make([]model.ResponseFunc, J)
+	for i, j := range in.Jobs {
+		if err := j.Validate(); err != nil {
+			return nil, err
+		}
+		resp[i] = in.Cluster.Response(j, alpha)
+	}
+
+	// Provisioning phase: explore the J·R allocation prefix chain.
+	rj := make([]int, J)
+	for i := range rj {
+		rj[i] = 1
+	}
+	sched := newScheduler(in, resp)
+
+	bestObj := sched.run(rj).objective(in.Objective)
+	bestRj := append([]int(nil), rj...)
+
+	for {
+		// Widen the longest job that is not yet cluster-wide.
+		longest, longestLat := -1, -1.0
+		for i := range rj {
+			if rj[i] >= R {
+				continue
+			}
+			if l := resp[i].At(rj[i]); l > longestLat {
+				longest, longestLat = i, l
+			}
+		}
+		if longest == -1 {
+			break
+		}
+		rj[longest]++
+		if obj := sched.run(rj).objective(in.Objective); obj < bestObj {
+			bestObj = obj
+			copy(bestRj, rj)
+		}
+	}
+
+	// Materialize the winning schedule.
+	final := sched.run(bestRj)
+	order := make([]int, J)
+	copy(order, final.order)
+	for rank, idx := range order {
+		j := in.Jobs[idx]
+		plan.Assignments[j.ID] = &Assignment{
+			JobID:      j.ID,
+			Racks:      final.racks[idx],
+			Start:      final.start[idx],
+			Priority:   rank,
+			EstLatency: resp[idx].At(bestRj[idx]),
+		}
+	}
+	plan.Makespan = final.makespan
+	plan.AvgCompletion = final.avgCompletion
+	return plan, nil
+}
+
+// schedResult captures one prioritization run.
+type schedResult struct {
+	order         []int // job indices in scheduling order
+	racks         [][]int
+	start         []float64
+	makespan      float64
+	avgCompletion float64
+}
+
+func (r *schedResult) objective(o Objective) float64 {
+	if o == MinimizeMakespan {
+		return r.makespan
+	}
+	return r.avgCompletion
+}
+
+// scheduler holds reusable buffers for repeated prioritization runs; the
+// provisioning phase calls run J·R times.
+type scheduler struct {
+	in   Input
+	resp []model.ResponseFunc
+
+	order []int
+	// initF seeds per-rack availability times (used by Replan to honor
+	// commitments); nil means all racks free at time zero.
+	initF []float64
+	// rackF is kept sorted ascending by (F, rackID) so the r_j earliest
+	// racks are always a prefix: the Fig 4 selection in O(R) per job.
+	rackF  []rackState
+	buf    []rackState
+	merged []rackState
+	result schedResult
+}
+
+type rackState struct {
+	f  float64
+	id int
+}
+
+func newScheduler(in Input, resp []model.ResponseFunc) *scheduler {
+	J, R := len(in.Jobs), in.Cluster.Racks
+	s := &scheduler{
+		in:     in,
+		resp:   resp,
+		order:  make([]int, J),
+		rackF:  make([]rackState, R),
+		buf:    make([]rackState, R),
+		merged: make([]rackState, 0, R),
+	}
+	s.result.order = make([]int, J)
+	s.result.racks = make([][]int, J)
+	s.result.start = make([]float64, J)
+	return s
+}
+
+// run executes the Fig 4 prioritization for the given per-job rack counts
+// and returns the resulting schedule. The returned result's slices are
+// reused across calls; callers must copy what they keep.
+func (s *scheduler) run(rj []int) *schedResult {
+	in := s.in
+	J := len(in.Jobs)
+
+	// Sort and re-index jobs per scenario.
+	for i := range s.order {
+		s.order[i] = i
+	}
+	batchLess := func(a, b int) bool {
+		// Widest-job first; ties by longest processing time; final tie by
+		// ID for determinism.
+		if rj[a] != rj[b] {
+			return rj[a] > rj[b]
+		}
+		la, lb := s.resp[a].At(rj[a]), s.resp[b].At(rj[b])
+		if la != lb {
+			return la > lb
+		}
+		return in.Jobs[a].ID < in.Jobs[b].ID
+	}
+	if in.Objective == MinimizeAvgCompletion {
+		sort.SliceStable(s.order, func(x, y int) bool {
+			a, b := s.order[x], s.order[y]
+			if in.Jobs[a].Arrival != in.Jobs[b].Arrival {
+				return in.Jobs[a].Arrival < in.Jobs[b].Arrival
+			}
+			return batchLess(a, b)
+		})
+	} else {
+		sort.SliceStable(s.order, func(x, y int) bool {
+			return batchLess(s.order[x], s.order[y])
+		})
+	}
+
+	for i := range s.rackF {
+		f := 0.0
+		if s.initF != nil {
+			f = s.initF[i]
+		}
+		s.rackF[i] = rackState{f: f, id: i}
+	}
+	if s.initF != nil {
+		sort.Slice(s.rackF, func(a, b int) bool {
+			x, y := s.rackF[a], s.rackF[b]
+			if x.f != y.f {
+				return x.f < y.f
+			}
+			return x.id < y.id
+		})
+	}
+
+	res := &s.result
+	copy(res.order, s.order)
+	makespan := 0.0
+	sumCompletion := 0.0
+
+	for _, idx := range s.order {
+		k := rj[idx]
+		lat := s.resp[idx].At(k)
+		arr := in.Jobs[idx].Arrival
+		if in.Objective == MinimizeMakespan {
+			arr = 0
+		}
+		// R_j := the k racks that free earliest (prefix of sorted rackF).
+		start := s.rackF[k-1].f
+		if arr > start {
+			start = arr
+		}
+		finish := start + lat
+
+		racks := res.racks[idx]
+		racks = racks[:0]
+		for i := 0; i < k; i++ {
+			racks = append(racks, s.rackF[i].id)
+		}
+		sort.Ints(racks)
+		res.racks[idx] = racks
+		res.start[idx] = start
+
+		if finish > makespan {
+			makespan = finish
+		}
+		sumCompletion += finish - arr
+
+		s.rebuildRackF(k, finish)
+	}
+
+	res.makespan = makespan
+	res.avgCompletion = sumCompletion / float64(J)
+	return res
+}
+
+// rebuildRackF removes the first k entries (just assigned) and re-inserts
+// them with F = finish, preserving (F, id) order in O(R).
+func (s *scheduler) rebuildRackF(k int, finish float64) {
+	R := len(s.rackF)
+	// Collect the k reassigned racks, keeping id order (they share F).
+	reassigned := s.buf[:0]
+	for i := 0; i < k; i++ {
+		reassigned = append(reassigned, rackState{f: finish, id: s.rackF[i].id})
+	}
+	sort.Slice(reassigned, func(a, b int) bool { return reassigned[a].id < reassigned[b].id })
+	// Merge the untouched suffix with the reassigned entries.
+	merged := s.merged[:0]
+	i, j := k, 0
+	for i < R && j < len(reassigned) {
+		a, b := s.rackF[i], reassigned[j]
+		if a.f < b.f || (a.f == b.f && a.id < b.id) {
+			merged = append(merged, a)
+			i++
+		} else {
+			merged = append(merged, b)
+			j++
+		}
+	}
+	merged = append(merged, s.rackF[i:]...)
+	merged = append(merged, reassigned[j:]...)
+	copy(s.rackF, merged)
+}

@@ -1,0 +1,156 @@
+package planner
+
+// Periodic replanning (§3.1): "The offline planner will periodically
+// receive updated estimates of future workload, rerun the planning
+// problem, and update the guidelines to the cluster scheduler."
+//
+// A replan happens while earlier jobs are still executing. Their rack
+// assignments cannot change (the model assumes no preemption and no
+// allocation changes mid-job, §4.1), so they enter the new plan as
+// commitments: the committed racks are unavailable until the committed
+// job's expected completion. The prioritization phase simply starts from
+// non-zero rack-availability times.
+
+import (
+	"fmt"
+	"sort"
+
+	"corral/internal/model"
+)
+
+// Commitment reserves a set of racks until an expected completion time —
+// one per still-running (or already-scheduled) job from a previous plan.
+type Commitment struct {
+	Racks []int
+	Until float64
+}
+
+// Replan runs the two-phase planning algorithm for the given (pending)
+// jobs at time now, honoring commitments from in-flight work. Arrival
+// times earlier than now are clamped to now.
+func Replan(in Input, now float64, commitments []Commitment) (*Plan, error) {
+	J := len(in.Jobs)
+	R := in.Cluster.Racks
+	if R <= 0 {
+		return nil, fmt.Errorf("planner: cluster has %d racks", R)
+	}
+	// Initial rack availability from commitments.
+	initF := make([]float64, R)
+	for i := range initF {
+		initF[i] = now
+	}
+	for _, c := range commitments {
+		for _, r := range c.Racks {
+			if r < 0 || r >= R {
+				return nil, fmt.Errorf("planner: commitment rack %d out of range", r)
+			}
+			if c.Until > initF[r] {
+				initF[r] = c.Until
+			}
+		}
+	}
+
+	plan := &Plan{Assignments: make(map[int]*Assignment, J), Objective: in.Objective}
+	if J == 0 {
+		return plan, nil
+	}
+	alpha := in.Alpha
+	if alpha < 0 {
+		alpha = in.Cluster.DefaultAlpha()
+	}
+	resp := make([]model.ResponseFunc, J)
+	for i, j := range in.Jobs {
+		if err := j.Validate(); err != nil {
+			return nil, err
+		}
+		if j.Arrival < now {
+			j.Arrival = now
+		}
+		resp[i] = in.Cluster.Response(j, alpha)
+	}
+
+	rj := make([]int, J)
+	for i := range rj {
+		rj[i] = 1
+	}
+	sched := newScheduler(in, resp)
+	sched.initF = initF
+
+	bestObj := sched.run(rj).objective(in.Objective)
+	bestRj := append([]int(nil), rj...)
+	for {
+		longest, longestLat := -1, -1.0
+		for i := range rj {
+			if rj[i] >= R {
+				continue
+			}
+			if l := resp[i].At(rj[i]); l > longestLat {
+				longest, longestLat = i, l
+			}
+		}
+		if longest == -1 {
+			break
+		}
+		rj[longest]++
+		if obj := sched.run(rj).objective(in.Objective); obj < bestObj {
+			bestObj = obj
+			copy(bestRj, rj)
+		}
+	}
+
+	final := sched.run(bestRj)
+	order := make([]int, J)
+	copy(order, final.order)
+	for rank, idx := range order {
+		j := in.Jobs[idx]
+		plan.Assignments[j.ID] = &Assignment{
+			JobID:      j.ID,
+			Racks:      append([]int(nil), final.racks[idx]...),
+			Start:      final.start[idx],
+			Priority:   rank,
+			EstLatency: resp[idx].At(bestRj[idx]),
+		}
+	}
+	plan.Makespan = final.makespan
+	plan.AvgCompletion = final.avgCompletion
+	return plan, nil
+}
+
+// MergePlans overlays a replan onto an existing plan: assignments for jobs
+// in next replace (or add to) those in prev; jobs only in prev are kept.
+// Priorities are renumbered by planned start so the cluster scheduler sees
+// one consistent ordering.
+func MergePlans(prev, next *Plan) *Plan {
+	merged := &Plan{
+		Assignments: make(map[int]*Assignment, len(prev.Assignments)+len(next.Assignments)),
+		Objective:   next.Objective,
+		Makespan:    next.Makespan,
+	}
+	for id, a := range prev.Assignments {
+		copyA := *a
+		merged.Assignments[id] = &copyA
+	}
+	for id, a := range next.Assignments {
+		copyA := *a
+		merged.Assignments[id] = &copyA
+	}
+	// Renumber priorities by (start, jobID).
+	ids := make([]int, 0, len(merged.Assignments))
+	for id := range merged.Assignments {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(x, y int) bool {
+		a, b := merged.Assignments[ids[x]], merged.Assignments[ids[y]]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		return a.JobID < b.JobID
+	})
+	for rank, id := range ids {
+		merged.Assignments[id].Priority = rank
+	}
+	if prev.Makespan > merged.Makespan {
+		merged.Makespan = prev.Makespan
+	}
+	return merged
+}

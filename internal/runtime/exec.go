@@ -1,0 +1,554 @@
+package runtime
+
+import (
+	"math"
+	"sort"
+
+	"corral/internal/des"
+	"corral/internal/dfs"
+	"corral/internal/job"
+	"corral/internal/netsim"
+	"corral/internal/planner"
+	"corral/internal/topology"
+)
+
+// jobExec is the application-master state for one job.
+type jobExec struct {
+	rt         *runtime
+	job        *job.Job
+	assignment *planner.Assignment
+	// allowedRacks constrains task placement (Corral / LocalShuffle /
+	// ShuffleWatcher). nil means unconstrained.
+	allowedRacks []int
+
+	inputFiles []*dfs.File // parallel with inputStage
+	inputStage []int
+
+	stages    []*stageExec
+	submitted bool
+	// skips is the delay-scheduling counter: scheduling opportunities this
+	// job declined waiting for locality.
+	skips      int
+	completion float64
+
+	taskSeconds   float64
+	reduceSeconds []float64
+	racksTouched  map[int]bool
+	stagesLeft    int
+}
+
+// planPriority orders planned jobs; ad-hoc and unplanned jobs sort last.
+func (je *jobExec) planPriority() int {
+	if je.assignment == nil {
+		return math.MaxInt32
+	}
+	return je.assignment.Priority
+}
+
+// done reports whether the job has completed.
+func (je *jobExec) done() bool { return je.completion >= 0 }
+
+// allowsRack reports whether the job may run tasks in rack r.
+func (je *jobExec) allowsRack(r int) bool {
+	if je.allowedRacks == nil {
+		return true
+	}
+	for _, a := range je.allowedRacks {
+		if a == r {
+			return true
+		}
+	}
+	return false
+}
+
+type stagePhase int
+
+const (
+	stageWaiting stagePhase = iota // upstream not finished
+	stageMapping                   // maps pending/running
+	stageReducing
+	stageDone
+)
+
+// stageExec tracks one DAG stage's execution.
+type stageExec struct {
+	je      *jobExec
+	idx     int
+	profile job.Profile
+	phase   stagePhase
+
+	inputFile        *dfs.File // source stages only
+	remoteStorage    bool      // source stage reading the storage cluster
+	upstreamMachines []int     // producer machines for derived stages
+
+	// Pending map-task indexes. byMachine/byRack hold locality-preferred
+	// tasks (lazily cleaned); anywhere holds preference-free tasks.
+	pendingMapCount int
+	byMachine       map[int][]*mapTask
+	byRack          map[int][]*mapTask
+	anyPref         []*mapTask // preferred somewhere; fallback at level 2
+	anywhere        []*mapTask // no preference at all
+
+	mapsDone      int
+	mapsOnMachine map[int]int
+	mapsOnRack    []int
+
+	pendingReduces int
+	reducesDone    int
+	reduceMachines []int // where completed tasks ran (for downstream input)
+	coflow         netsim.CoflowID
+}
+
+// mapTask is one pending map with its locality preference.
+type mapTask struct {
+	index      int
+	bytes      float64
+	blk        *dfs.Block // input block for source stages, nil otherwise
+	srcMachine int        // upstream machine for derived stages, -1 if none
+	assigned   bool
+}
+
+// nodeLocal reports whether machine m holds the task's input.
+func (t *mapTask) nodeLocal(rt *runtime, m int) bool {
+	if t.blk != nil {
+		for _, r := range t.blk.Replicas {
+			if r == m && !rt.dead[r] {
+				return true
+			}
+		}
+		return false
+	}
+	return t.srcMachine == m
+}
+
+// submit makes the job schedulable. ShuffleWatcher picks its rack subset
+// here, greedily and independently per job (no cross-job coordination),
+// preferring the racks that hold most of the job's input and breaking
+// ties toward lower-indexed racks — which is what lets several large jobs
+// pile onto the same racks, the pathology §6.2 describes.
+func (rt *runtime) submit(je *jobExec) {
+	je.submitted = true
+	je.racksTouched = make(map[int]bool)
+	if rt.opts.Scheduler == ShuffleWatcher && !je.job.AdHoc {
+		je.allowedRacks = rt.shuffleWatcherRacks(je)
+	}
+
+	je.stagesLeft = len(je.job.Stages)
+	je.stages = make([]*stageExec, len(je.job.Stages))
+	for i := range je.job.Stages {
+		st := &stageExec{
+			je:            je,
+			idx:           i,
+			profile:       je.job.Stages[i].Profile,
+			phase:         stageWaiting,
+			byMachine:     make(map[int][]*mapTask),
+			byRack:        make(map[int][]*mapTask),
+			mapsOnMachine: make(map[int]int),
+			mapsOnRack:    make([]int, rt.cluster.Config.Racks),
+		}
+		rt.coflowID++
+		st.coflow = rt.coflowID
+		je.stages[i] = st
+	}
+	for i, si := range je.inputStage {
+		je.stages[si].inputFile = je.inputFiles[i]
+	}
+	if rt.opts.RemoteStorageInput {
+		for _, st := range je.stages {
+			if len(je.job.Stages[st.idx].Upstream) == 0 && st.profile.InputBytes > 0 {
+				st.remoteStorage = true
+			}
+		}
+	}
+	// Start all source stages.
+	for _, st := range je.stages {
+		if len(je.job.Stages[st.idx].Upstream) == 0 {
+			rt.startStage(st)
+		}
+	}
+	rt.requestDispatch()
+}
+
+// shuffleWatcherRacks picks ⌈slots/rackSlots⌉ racks holding the most of
+// the job's input data.
+func (rt *runtime) shuffleWatcherRacks(je *jobExec) []int {
+	cfg := rt.cluster.Config
+	rackSlots := cfg.MachinesPerRack * cfg.SlotsPerMachine
+	need := (je.job.Slots() + rackSlots - 1) / rackSlots
+	if need < 1 {
+		need = 1
+	}
+	if need > cfg.Racks {
+		need = cfg.Racks
+	}
+	weight := make([]float64, cfg.Racks)
+	for _, f := range je.inputFiles {
+		for bi := range f.Blocks {
+			for _, m := range f.Blocks[bi].Replicas {
+				weight[rt.cluster.RackOf(m)] += f.Blocks[bi].Size
+			}
+		}
+	}
+	order := make([]int, cfg.Racks)
+	for i := range order {
+		order[i] = i
+	}
+	// Insertion sort by weight desc, stable (ties toward low rack index).
+	for i := 1; i < len(order); i++ {
+		for k := i; k > 0 && weight[order[k]] > weight[order[k-1]]; k-- {
+			order[k], order[k-1] = order[k-1], order[k]
+		}
+	}
+	return append([]int(nil), order[:need]...)
+}
+
+// startStage moves a stage into the mapping phase, materializing its map
+// tasks with locality preferences.
+func (rt *runtime) startStage(st *stageExec) {
+	st.phase = stageMapping
+	p := st.profile
+	if p.MapTasks == 0 {
+		rt.finishMapsPhase(st)
+		return
+	}
+	perMap := p.InputBytes / float64(p.MapTasks)
+
+	for i := 0; i < p.MapTasks; i++ {
+		t := &mapTask{index: i, bytes: perMap, srcMachine: -1}
+		switch {
+		case st.inputFile != nil && len(st.inputFile.Blocks) > 0:
+			bi := i * len(st.inputFile.Blocks) / p.MapTasks
+			t.blk = &st.inputFile.Blocks[bi]
+			for _, m := range t.blk.Replicas {
+				if rt.dead[m] {
+					continue
+				}
+				st.byMachine[m] = append(st.byMachine[m], t)
+				st.byRack[rt.cluster.RackOf(m)] = append(st.byRack[rt.cluster.RackOf(m)], t)
+			}
+			st.anyPref = append(st.anyPref, t)
+		case len(st.upstreamMachines) > 0:
+			m := st.upstreamMachines[i%len(st.upstreamMachines)]
+			t.srcMachine = m
+			st.byMachine[m] = append(st.byMachine[m], t)
+			st.byRack[rt.cluster.RackOf(m)] = append(st.byRack[rt.cluster.RackOf(m)], t)
+			st.anyPref = append(st.anyPref, t)
+		default:
+			st.anywhere = append(st.anywhere, t)
+		}
+		st.pendingMapCount++
+	}
+	rt.requestDispatch()
+}
+
+// replicaClosest returns the cheapest live source for the task's input as
+// read from machine m.
+func (rt *runtime) replicaClosest(t *mapTask, m int) int {
+	if t.blk == nil {
+		return t.srcMachine
+	}
+	for _, r := range t.blk.Replicas {
+		if r == m && !rt.dead[r] {
+			return r
+		}
+	}
+	for _, r := range t.blk.Replicas {
+		if !rt.dead[r] && rt.cluster.SameRack(r, m) {
+			return r
+		}
+	}
+	for _, r := range t.blk.Replicas {
+		if !rt.dead[r] {
+			return r
+		}
+	}
+	return -1
+}
+
+// taskStarted/taskEnded maintain the queue-share accounting.
+func (rt *runtime) taskStarted(je *jobExec) {
+	if je.assignment != nil {
+		rt.runningPlanned++
+	} else {
+		rt.runningAdhoc++
+	}
+}
+
+func (rt *runtime) taskEnded(je *jobExec) {
+	if je.assignment != nil {
+		rt.runningPlanned--
+	} else {
+		rt.runningAdhoc--
+	}
+}
+
+// runMap executes one map task on machine m: remote read (if the input is
+// not node-local) followed by compute at B_M. The attempt is tracked so
+// machine failures and the speculation watchdog can abort and requeue it.
+func (rt *runtime) runMap(st *stageExec, t *mapTask, m int) {
+	je := st.je
+	rt.freeSlots[m]--
+	rt.taskStarted(je)
+	je.racksTouched[rt.cluster.RackOf(m)] = true
+	tk := rt.track(je, st, t, m)
+
+	src := rt.replicaClosest(t, m)
+	compute := func() {
+		nominal := t.bytes / st.profile.MapRate
+		dur := rt.computeDuration(tk, nominal)
+		tk.after(rt, des.Time(dur), func() {
+			tk.done = true
+			rt.finishTracking(tk)
+			je.taskSeconds += float64(rt.sim.Now() - tk.started)
+			rt.freeSlots[m]++
+			rt.taskEnded(je)
+			st.mapsDone++
+			st.mapsOnMachine[m]++
+			st.mapsOnRack[rt.cluster.RackOf(m)]++
+			if st.mapsDone == st.profile.MapTasks {
+				rt.finishMapsPhase(st)
+			}
+			rt.requestDispatch()
+		})
+	}
+	if st.remoteStorage {
+		// Fetch the split from the storage cluster over the shared
+		// interconnect (§7 "Remote storage").
+		tk.flow(rt, func(done func(*netsim.Flow)) *netsim.Flow {
+			return rt.net.StartPath(rt.cluster.StoragePath(m), false, t.bytes,
+				st.coflow, je.job.ID, done)
+		}, compute)
+		return
+	}
+	if src < 0 || src == m {
+		// Node-local (or sourceless): the local read is folded into the
+		// compute rate, as in the §4.3 model.
+		compute()
+		return
+	}
+	tk.flow(rt, func(done func(*netsim.Flow)) *netsim.Flow {
+		return rt.net.Start(src, m, t.bytes, st.coflow, je.job.ID, done)
+	}, compute)
+}
+
+// finishMapsPhase transitions a stage to reducing (or completes it for
+// map-only stages).
+func (rt *runtime) finishMapsPhase(st *stageExec) {
+	if st.profile.ReduceTasks == 0 {
+		// Map-only: outputs live on the map machines. Iterate machines in
+		// index order so downstream input assignment stays deterministic.
+		machines := make([]int, 0, len(st.mapsOnMachine))
+		for m := range st.mapsOnMachine {
+			machines = append(machines, m)
+		}
+		sort.Ints(machines)
+		for _, m := range machines {
+			for i := 0; i < st.mapsOnMachine[m]; i++ {
+				st.reduceMachines = append(st.reduceMachines, m)
+			}
+		}
+		rt.finishStage(st)
+		return
+	}
+	st.phase = stageReducing
+	st.pendingReduces = st.profile.ReduceTasks
+	rt.requestDispatch()
+}
+
+// runReduce executes one reduce task on machine m: rack-aggregated shuffle
+// fetch, compute at B_R, then a replicated output write for terminal
+// stages. The attempt is tracked so failures and speculation can abort it.
+func (rt *runtime) runReduce(st *stageExec, m int) {
+	je := st.je
+	rt.freeSlots[m]--
+	rt.taskStarted(je)
+	je.racksTouched[rt.cluster.RackOf(m)] = true
+	tk := rt.track(je, st, nil, m)
+	p := st.profile
+	perReduce := p.ShuffleBytes / float64(p.ReduceTasks)
+
+	finish := func() {
+		tk.done = true
+		rt.finishTracking(tk)
+		dur := float64(rt.sim.Now() - tk.started)
+		je.taskSeconds += dur
+		je.reduceSeconds = append(je.reduceSeconds, dur)
+		rt.freeSlots[m]++
+		rt.taskEnded(je)
+		st.reduceMachines = append(st.reduceMachines, m)
+		st.reducesDone++
+		if st.reducesDone == p.ReduceTasks {
+			rt.finishStage(st)
+		}
+		rt.requestDispatch()
+	}
+
+	write := func() {
+		outBytes := p.OutputBytes / float64(p.ReduceTasks)
+		if outBytes <= 0 || !rt.isTerminal(st) || rt.opts.OutputReplication <= 1 {
+			finish()
+			return
+		}
+		rt.writeOutput(tk, st.coflow, m, outBytes, finish)
+	}
+
+	compute := func() {
+		nominal := p.OutputBytes / float64(p.ReduceTasks) / p.ReduceRate
+		tk.after(rt, des.Time(rt.computeDuration(tk, nominal)), write)
+	}
+
+	// Shuffle: one aggregated flow per source rack. The portion produced
+	// on machine m itself never touches the network; the rest of m's rack
+	// contends only on the reducer's downlink (full in-rack bisection);
+	// remote racks traverse their uplink and the reducer rack's downlink.
+	if perReduce <= 0 || p.MapTasks == 0 {
+		compute()
+		return
+	}
+	myRack := rt.cluster.RackOf(m)
+	nm := float64(p.MapTasks)
+	remainingFlows := 1 // guard so compute fires exactly once, async
+	flowDone := func() {
+		remainingFlows--
+		if remainingFlows == 0 {
+			compute()
+		}
+	}
+	for r, cnt := range st.mapsOnRack {
+		if cnt == 0 {
+			continue
+		}
+		bytes := perReduce * float64(cnt) / nm
+		if r == myRack {
+			bytes -= perReduce * float64(st.mapsOnMachine[m]) / nm
+			if bytes <= 0 {
+				continue
+			}
+			remainingFlows++
+			tk.flow(rt, func(done func(*netsim.Flow)) *netsim.Flow {
+				return rt.net.StartPath(
+					[]topology.LinkID{rt.cluster.MachineDownlink(m)},
+					false, bytes, st.coflow, je.job.ID, done)
+			}, flowDone)
+			continue
+		}
+		remainingFlows++
+		tk.flow(rt, func(done func(*netsim.Flow)) *netsim.Flow {
+			return rt.net.StartPath(
+				[]topology.LinkID{
+					rt.cluster.RackUplink(r),
+					rt.cluster.RackDownlink(myRack),
+					rt.cluster.MachineDownlink(m),
+				},
+				true, bytes, st.coflow, je.job.ID, done)
+		}, flowDone)
+	}
+	// Release the guard via a zero-byte loopback so compute runs (async)
+	// even when all shuffle input was node-local.
+	tk.flow(rt, func(done func(*netsim.Flow)) *netsim.Flow {
+		return rt.net.Start(m, m, 0, 0, je.job.ID, done)
+	}, flowDone)
+}
+
+// writeOutput models the replicated DFS write pipeline: the first replica
+// stays local; one copy crosses to a machine on a remote rack and a second
+// copy is made within that rack.
+func (rt *runtime) writeOutput(tk *runningTask, coflow netsim.CoflowID, m int, bytes float64, done func()) {
+	je := tk.je
+	view := rt.store.View()
+	myRack := rt.cluster.RackOf(m)
+	remoteRack := myRack
+	if rt.cluster.Config.Racks > 1 {
+		remoteRack = rt.pickRemoteRack(myRack)
+	}
+	r2 := view.LeastLoadedMachineInRack(remoteRack, map[int]bool{m: true})
+	if r2 < 0 {
+		r2 = m
+	}
+	r3 := view.LeastLoadedMachineInRack(remoteRack, map[int]bool{m: true, r2: true})
+	if r3 < 0 {
+		r3 = r2
+	}
+	remaining := 2
+	flowDone := func() {
+		remaining--
+		if remaining == 0 {
+			done()
+		}
+	}
+	tk.flow(rt, func(cb func(*netsim.Flow)) *netsim.Flow {
+		return rt.net.Start(m, r2, bytes, coflow, je.job.ID, cb)
+	}, flowDone)
+	if rt.opts.OutputReplication >= 3 {
+		tk.flow(rt, func(cb func(*netsim.Flow)) *netsim.Flow {
+			return rt.net.Start(r2, r3, bytes, coflow, je.job.ID, cb)
+		}, flowDone)
+	} else {
+		tk.flow(rt, func(cb func(*netsim.Flow)) *netsim.Flow {
+			return rt.net.Start(m, m, 0, 0, je.job.ID, cb)
+		}, flowDone)
+	}
+}
+
+// pickRemoteRack returns a uniformly random rack != myRack.
+func (rt *runtime) pickRemoteRack(myRack int) int {
+	racks := rt.cluster.Config.Racks
+	r := rt.rng.Intn(racks - 1)
+	if r >= myRack {
+		r++
+	}
+	return r
+}
+
+// isTerminal reports whether no later stage consumes st's output.
+func (rt *runtime) isTerminal(st *stageExec) bool {
+	for i := st.idx + 1; i < len(st.je.job.Stages); i++ {
+		for _, u := range st.je.job.Stages[i].Upstream {
+			if u == st.idx {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// finishStage marks a stage done and wakes downstream stages whose inputs
+// are now all available.
+func (rt *runtime) finishStage(st *stageExec) {
+	st.phase = stageDone
+	je := st.je
+	je.stagesLeft--
+	if je.stagesLeft == 0 {
+		je.completion = float64(rt.sim.Now())
+		rt.active--
+		rt.requestDispatch()
+		return
+	}
+	for i := st.idx + 1; i < len(je.job.Stages); i++ {
+		down := je.stages[i]
+		if down.phase != stageWaiting {
+			continue
+		}
+		ready := true
+		consumes := false
+		for _, u := range je.job.Stages[i].Upstream {
+			if u == st.idx {
+				consumes = true
+			}
+			if je.stages[u].phase != stageDone {
+				ready = false
+			}
+		}
+		if !consumes || !ready {
+			continue
+		}
+		// Collect upstream producer machines for input locality.
+		var ups []int
+		for _, u := range je.job.Stages[i].Upstream {
+			ups = append(ups, je.stages[u].reduceMachines...)
+		}
+		down.upstreamMachines = ups
+		rt.startStage(down)
+	}
+	rt.requestDispatch()
+}

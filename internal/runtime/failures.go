@@ -1,0 +1,217 @@
+package runtime
+
+// Failure handling and straggler mitigation.
+//
+// Mid-run machine failures (§3.1, §7 "Dealing with failures"): when a
+// machine dies, its running tasks are aborted — their pending timers and
+// network flows are canceled — and requeued for rescheduling elsewhere.
+// DFS replicas on dead machines become unreadable (the remaining replicas
+// keep the data available, as the paper's 2+1 replica spread guarantees),
+// and if a majority of the machines in a planned job's rack set are dead,
+// the job's placement constraints are dropped so it can use any available
+// resources.
+//
+// Simplification (documented in DESIGN.md): outputs of *completed* map
+// tasks on a failed machine are not re-executed — only in-flight work is
+// lost. Re-running completed upstream work would require per-partition
+// shuffle bookkeeping that the rack-aggregated flow model intentionally
+// avoids.
+//
+// Stragglers (§3.3 lists "failures, outliers" as the runtime factors the
+// offline model ignores): with probability StragglerFraction a task's
+// compute phase runs StragglerSlowdown times slower. With speculation
+// enabled, a watchdog fires once the task has run SpeculationThreshold
+// times its expected duration and relaunches it — modelling the backup
+// copy overtaking the straggler.
+
+import (
+	"fmt"
+
+	"corral/internal/des"
+	"corral/internal/netsim"
+)
+
+// Failure kills one machine at a point in simulated time.
+type Failure struct {
+	At      float64
+	Machine int
+}
+
+// runningTask tracks one in-flight task attempt so it can be aborted.
+type runningTask struct {
+	je      *jobExec
+	st      *stageExec
+	mapT    *mapTask // nil for reduce attempts
+	machine int
+	started des.Time
+	aborted bool
+	done    bool
+	events  []*des.Event
+	flows   []*netsim.Flow
+}
+
+// track registers a new running attempt.
+func (rt *runtime) track(je *jobExec, st *stageExec, t *mapTask, m int) *runningTask {
+	tk := &runningTask{je: je, st: st, mapT: t, machine: m, started: rt.sim.Now()}
+	rt.running[m] = append(rt.running[m], tk)
+	return tk
+}
+
+// finishTracking removes a completed attempt from the running set.
+func (rt *runtime) finishTracking(tk *runningTask) {
+	lst := rt.running[tk.machine]
+	for i, other := range lst {
+		if other == tk {
+			lst[i] = lst[len(lst)-1]
+			rt.running[tk.machine] = lst[:len(lst)-1]
+			return
+		}
+	}
+}
+
+// after schedules a timer owned by the attempt; it is canceled on abort.
+func (tk *runningTask) after(rt *runtime, d des.Time, fn func()) {
+	ev := rt.sim.After(d, func() {
+		if tk.aborted {
+			return
+		}
+		fn()
+	})
+	tk.events = append(tk.events, ev)
+}
+
+// flow starts a network flow owned by the attempt.
+func (tk *runningTask) flow(rt *runtime, start func(done func(*netsim.Flow)) *netsim.Flow, done func()) {
+	f := start(func(*netsim.Flow) {
+		if tk.aborted {
+			return
+		}
+		done()
+	})
+	tk.flows = append(tk.flows, f)
+}
+
+// abort cancels the attempt's timers and flows and requeues its work.
+// freeSlot controls whether the slot is returned (false when the machine
+// itself died).
+func (rt *runtime) abort(tk *runningTask, freeSlot bool) {
+	if tk.aborted || tk.done {
+		return
+	}
+	tk.aborted = true
+	for _, ev := range tk.events {
+		ev.Cancel()
+	}
+	for _, f := range tk.flows {
+		rt.net.Cancel(f)
+	}
+	rt.finishTracking(tk)
+	rt.taskEnded(tk.je)
+	if freeSlot {
+		rt.freeSlots[tk.machine]++
+	}
+	// Requeue the work.
+	if tk.mapT != nil {
+		rt.requeueMap(tk.st, tk.mapT)
+	} else {
+		tk.st.pendingReduces++
+	}
+	rt.requestDispatch()
+}
+
+// requeueMap returns an aborted map task to its stage's pending indexes,
+// skipping now-dead replica machines.
+func (rt *runtime) requeueMap(st *stageExec, t *mapTask) {
+	t.assigned = false
+	st.pendingMapCount++
+	switch {
+	case t.blk != nil:
+		pushed := false
+		for _, m := range t.blk.Replicas {
+			if rt.dead[m] {
+				continue
+			}
+			st.byMachine[m] = append(st.byMachine[m], t)
+			st.byRack[rt.cluster.RackOf(m)] = append(st.byRack[rt.cluster.RackOf(m)], t)
+			pushed = true
+		}
+		if pushed {
+			st.anyPref = append(st.anyPref, t)
+		} else {
+			st.anywhere = append(st.anywhere, t)
+		}
+	case t.srcMachine >= 0 && !rt.dead[t.srcMachine]:
+		st.byMachine[t.srcMachine] = append(st.byMachine[t.srcMachine], t)
+		st.byRack[rt.cluster.RackOf(t.srcMachine)] = append(st.byRack[rt.cluster.RackOf(t.srcMachine)], t)
+		st.anyPref = append(st.anyPref, t)
+	default:
+		st.anywhere = append(st.anywhere, t)
+	}
+}
+
+// failMachine kills machine m at the current simulated time.
+func (rt *runtime) failMachine(m int) {
+	if rt.dead[m] {
+		return
+	}
+	rt.dead[m] = true
+	rt.deadCount++
+	rt.freeSlots[m] = 0
+	// Abort running attempts (slot not returned: the machine is gone).
+	attempts := append([]*runningTask(nil), rt.running[m]...)
+	for _, tk := range attempts {
+		rt.abort(tk, false)
+	}
+	// Rack-failure fallback for submitted jobs (§3.1).
+	for _, je := range rt.jobs {
+		if je.allowedRacks == nil || je.done() {
+			continue
+		}
+		total, deadIn := 0, 0
+		for _, r := range je.allowedRacks {
+			lo, hi := rt.cluster.MachinesInRack(r)
+			for mm := lo; mm < hi; mm++ {
+				total++
+				if rt.dead[mm] {
+					deadIn++
+				}
+			}
+		}
+		if deadIn*2 > total {
+			je.allowedRacks = nil
+		}
+	}
+	rt.requestDispatch()
+}
+
+// validateFailures checks configured failures at startup.
+func validateFailures(failures []Failure, machines int) error {
+	for _, f := range failures {
+		if f.Machine < 0 || f.Machine >= machines {
+			return fmt.Errorf("runtime: failure targets machine %d, out of range", f.Machine)
+		}
+		if f.At < 0 {
+			return fmt.Errorf("runtime: failure at negative time %g", f.At)
+		}
+	}
+	return nil
+}
+
+// computeDuration applies straggler injection to a task's nominal compute
+// time and arms the speculation watchdog if enabled.
+func (rt *runtime) computeDuration(tk *runningTask, nominal float64) float64 {
+	dur := nominal
+	if rt.opts.StragglerFraction > 0 && rt.rng.Float64() < rt.opts.StragglerFraction {
+		dur *= rt.opts.StragglerSlowdown
+	}
+	if rt.opts.Speculation && dur > nominal {
+		threshold := rt.opts.SpeculationThreshold
+		watch := des.Time(nominal * threshold)
+		tk.after(rt, watch, func() {
+			// Still running past the threshold: relaunch (the backup copy
+			// wins; the straggling attempt is killed).
+			rt.abort(tk, true)
+		})
+	}
+	return dur
+}

@@ -1,0 +1,448 @@
+// Package runtime executes data-parallel jobs on the simulated cluster:
+// it is the YARN-analogue resource manager plus per-job application
+// masters, driving map tasks, shuffles, reduces and replicated output
+// writes over the flow-level network simulator.
+//
+// Four scheduling policies are implemented, matching §6.1's comparison:
+//
+//   - YarnCS: the capacity scheduler baseline — FIFO job order with slot
+//     backfill and delay scheduling for map locality; reducers go anywhere.
+//   - Corral: the planner's {R_j, p_j} guidelines — input data pre-placed
+//     in R_j, all tasks constrained to R_j, jobs picked by priority.
+//   - LocalShuffle: Corral's task placement but HDFS-random data placement.
+//   - ShuffleWatcher: per-job shuffle localisation to a rack subset chosen
+//     greedily per job (no cross-job planning, no data placement).
+package runtime
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"corral/internal/des"
+	"corral/internal/dfs"
+	"corral/internal/job"
+	"corral/internal/netsim"
+	"corral/internal/planner"
+	"corral/internal/topology"
+)
+
+// Kind selects the cluster scheduling policy.
+type Kind int
+
+// The four evaluated schedulers.
+const (
+	YarnCS Kind = iota
+	Corral
+	LocalShuffle
+	ShuffleWatcher
+)
+
+func (k Kind) String() string {
+	switch k {
+	case YarnCS:
+		return "yarn-cs"
+	case Corral:
+		return "corral"
+	case LocalShuffle:
+		return "local-shuffle"
+	case ShuffleWatcher:
+		return "shufflewatcher"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Options configures one simulated run.
+type Options struct {
+	Topology topology.Config
+	// Network is the bandwidth-sharing policy; nil selects max-min fair
+	// (TCP-like).
+	Network netsim.Policy
+	// Scheduler selects the policy; Corral and LocalShuffle require Plan.
+	Scheduler Kind
+	Plan      *planner.Plan
+	Seed      int64
+	// BlockSize for the DFS; 0 selects the default (256 MB).
+	BlockSize float64
+	// DelayNodeLocal / DelayRackLocal are delay-scheduling patience
+	// thresholds, in skipped scheduling opportunities, before a job's map
+	// tasks may run rack-local / anywhere. Zero selects defaults scaled to
+	// the cluster size.
+	DelayNodeLocal int
+	DelayRackLocal int
+	// OutputReplication for terminal stage outputs (default 3: one local
+	// replica plus two on a remote rack).
+	OutputReplication int
+	// Heartbeat is the scheduler retry interval when jobs decline slots
+	// waiting for locality (the delay-scheduling "wait"). Default 1s.
+	Heartbeat float64
+	// Failures kills machines at points in simulated time: running tasks
+	// on a failed machine are aborted and re-executed elsewhere, and
+	// planned jobs whose rack sets lose a majority of machines fall back
+	// to unconstrained placement (§3.1).
+	Failures []Failure
+	// StragglerFraction is the probability that a task's compute phase is
+	// a straggler, running StragglerSlowdown (default 6) times slower —
+	// the "outliers" of §3.3. Zero disables injection.
+	StragglerFraction float64
+	StragglerSlowdown float64
+	// Speculation enables the speculative-execution watchdog: a task
+	// running longer than SpeculationThreshold (default 2) times its
+	// expected duration is relaunched.
+	Speculation          bool
+	SpeculationThreshold float64
+	// AdhocShare is the capacity-scheduler queue share for ad-hoc jobs
+	// under the plan-driven schedulers: when the ad-hoc queue is running
+	// less than this fraction of all busy slots, a freed slot is offered
+	// to ad-hoc jobs first (work-conserving both ways). Default 0.5.
+	// Yarn-CS and ShuffleWatcher ignore it (single FIFO queue).
+	AdhocShare float64
+	// FailedMachines are dead from time zero: no slots, and DFS replicas
+	// on them are unreadable. If more than half the machines of a planned
+	// job's rack set are dead, Corral drops the job's placement
+	// constraints (§3.1).
+	FailedMachines []int
+	// RemoteStorageInput makes every job read its input from the separate
+	// storage cluster over the shared interconnect (§2's Azure/S3
+	// scenario, §7 "Remote storage") instead of from pre-placed DFS
+	// blocks. Requires Topology.RemoteStorageBandwidth > 0.
+	RemoteStorageInput bool
+	// InMemoryInput models Spark-like in-memory data (§7 "In-memory
+	// systems"): terminal outputs are not written through the replicated
+	// DFS pipeline, removing write traffic while shuffles still use the
+	// network.
+	InMemoryInput bool
+}
+
+// JobResult captures per-job outcomes.
+type JobResult struct {
+	ID             int
+	Name           string
+	AdHoc          bool
+	Arrival        float64
+	Completion     float64 // absolute completion time
+	CompletionTime float64 // Completion − Arrival
+	Slots          int     // requested parallelism (Fig 2 metric)
+	CrossRackBytes float64
+	TaskSeconds    float64 // Σ task wall-clock times ("compute hours")
+	ReduceSeconds  []float64
+	RacksUsed      int
+}
+
+// AvgReduceTime returns the mean reduce-task duration (Fig 7c metric), or
+// 0 for map-only jobs.
+func (r *JobResult) AvgReduceTime() float64 {
+	if len(r.ReduceSeconds) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range r.ReduceSeconds {
+		s += v
+	}
+	return s / float64(len(r.ReduceSeconds))
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Scheduler      Kind
+	Jobs           []JobResult
+	Makespan       float64
+	CrossRackBytes float64
+	TaskSeconds    float64
+	InputRackCoV   float64 // data balance of input placement (§6.2)
+	Events         uint64
+}
+
+// AvgCompletionTime returns the mean of per-job completion times.
+func (r *Result) AvgCompletionTime() float64 {
+	if len(r.Jobs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, j := range r.Jobs {
+		s += j.CompletionTime
+	}
+	return s / float64(len(r.Jobs))
+}
+
+// CompletionTimes returns per-job completion times, sorted ascending.
+func (r *Result) CompletionTimes() []float64 {
+	out := make([]float64, len(r.Jobs))
+	for i, j := range r.Jobs {
+		out[i] = j.CompletionTime
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// Run simulates the given jobs to completion and returns the result.
+func Run(opts Options, jobs []*job.Job) (*Result, error) {
+	rt, err := newRuntime(opts, jobs)
+	if err != nil {
+		return nil, err
+	}
+	return rt.run()
+}
+
+type runtime struct {
+	opts    Options
+	sim     *des.Simulator
+	cluster *topology.Cluster
+	net     *netsim.Network
+	store   *dfs.Store
+	rng     *rand.Rand
+
+	freeSlots    []int
+	dead         []bool
+	deadCount    int
+	running      map[int][]*runningTask
+	machineOrder []int // heartbeat visit order, reshuffled per pass
+
+	jobs     []*jobExec
+	byOrder  []*jobExec // dispatch order per policy
+	active   int        // jobs not yet complete
+	swLoad   []int      // ShuffleWatcher: per-rack assigned-job count
+	coflowID netsim.CoflowID
+
+	dispatchPending bool
+	retryPending    bool
+	declined        bool
+
+	// Queue-share accounting for the planned vs ad-hoc capacity queues.
+	runningPlanned int
+	runningAdhoc   int
+	haveAdhoc      bool
+	havePlanned    bool
+}
+
+func newRuntime(opts Options, jobs []*job.Job) (*runtime, error) {
+	if opts.Scheduler == Corral || opts.Scheduler == LocalShuffle {
+		if opts.Plan == nil {
+			return nil, fmt.Errorf("runtime: scheduler %v requires a plan", opts.Scheduler)
+		}
+	}
+	cluster, err := topology.New(opts.Topology)
+	if err != nil {
+		return nil, err
+	}
+	if opts.OutputReplication == 0 {
+		opts.OutputReplication = 3
+	}
+	m := cluster.Config.Machines()
+	if opts.DelayNodeLocal == 0 {
+		opts.DelayNodeLocal = m
+	}
+	if opts.DelayRackLocal == 0 {
+		opts.DelayRackLocal = 2 * m
+	}
+	if opts.Heartbeat <= 0 {
+		opts.Heartbeat = 1
+	}
+	if opts.AdhocShare <= 0 || opts.AdhocShare >= 1 {
+		opts.AdhocShare = 0.5
+	}
+	if opts.StragglerSlowdown <= 1 {
+		opts.StragglerSlowdown = 6
+	}
+	if opts.SpeculationThreshold <= 1 {
+		opts.SpeculationThreshold = 2
+	}
+	if err := validateFailures(opts.Failures, cluster.Config.Machines()); err != nil {
+		return nil, err
+	}
+	if opts.RemoteStorageInput {
+		if _, ok := cluster.StorageLink(); !ok {
+			return nil, fmt.Errorf("runtime: RemoteStorageInput requires Topology.RemoteStorageBandwidth > 0")
+		}
+	}
+	if opts.InMemoryInput {
+		opts.OutputReplication = 1
+	}
+	netPolicy := opts.Network
+	if netPolicy == nil {
+		netPolicy = netsim.MaxMinFair{}
+	}
+	sim := des.New()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	rt := &runtime{
+		opts:      opts,
+		sim:       sim,
+		cluster:   cluster,
+		net:       netsim.New(sim, cluster, netPolicy),
+		store:     dfs.New(cluster, opts.BlockSize, rng),
+		rng:       rng,
+		freeSlots: make([]int, m),
+		dead:      make([]bool, m),
+		running:   make(map[int][]*runningTask),
+		swLoad:    make([]int, cluster.Config.Racks),
+	}
+	rt.machineOrder = make([]int, m)
+	for i := range rt.freeSlots {
+		rt.freeSlots[i] = cluster.Config.SlotsPerMachine
+		rt.machineOrder[i] = i
+	}
+	for _, f := range opts.FailedMachines {
+		if f < 0 || f >= m {
+			return nil, fmt.Errorf("runtime: failed machine %d out of range", f)
+		}
+		if !rt.dead[f] {
+			rt.dead[f] = true
+			rt.deadCount++
+			rt.freeSlots[f] = 0
+		}
+	}
+
+	// Materialize job executions and pre-place input data ("data is placed
+	// at the desired location as it is uploaded", §2).
+	for _, j := range jobs {
+		if err := j.Validate(); err != nil {
+			return nil, err
+		}
+		je, err := rt.prepareJob(j)
+		if err != nil {
+			return nil, err
+		}
+		rt.jobs = append(rt.jobs, je)
+	}
+	for _, je := range rt.jobs {
+		if je.assignment != nil {
+			rt.havePlanned = true
+		} else {
+			rt.haveAdhoc = true
+		}
+	}
+	rt.sortDispatchOrder()
+	return rt, nil
+}
+
+// prepareJob builds the execution state and uploads input files.
+func (rt *runtime) prepareJob(j *job.Job) (*jobExec, error) {
+	je := &jobExec{rt: rt, job: j, completion: -1}
+
+	// Placement guidelines.
+	usePlanData := false
+	if rt.opts.Plan != nil && !j.AdHoc {
+		if a := rt.opts.Plan.Assignments[j.ID]; a != nil {
+			je.assignment = a
+			switch rt.opts.Scheduler {
+			case Corral:
+				usePlanData = true
+				je.allowedRacks = a.Racks
+			case LocalShuffle:
+				je.allowedRacks = a.Racks
+			}
+		}
+	}
+	// Rack-failure fallback (§3.1): if a majority of the machines in the
+	// assigned racks are unreachable, ignore the guidelines.
+	if je.allowedRacks != nil && rt.deadCount > 0 {
+		total, deadIn := 0, 0
+		for _, r := range je.allowedRacks {
+			lo, hi := rt.cluster.MachinesInRack(r)
+			for m := lo; m < hi; m++ {
+				total++
+				if rt.dead[m] {
+					deadIn++
+				}
+			}
+		}
+		if deadIn*2 > total {
+			je.allowedRacks = nil
+			usePlanData = false
+		}
+	}
+
+	// Upload input files for source stages (skipped entirely when input
+	// lives in the remote storage cluster).
+	for si := range j.Stages {
+		if rt.opts.RemoteStorageInput {
+			break
+		}
+		st := &j.Stages[si]
+		if len(st.Upstream) > 0 || st.Profile.InputBytes <= 0 {
+			continue
+		}
+		var policy dfs.Placement
+		if usePlanData {
+			policy = dfs.CorralPlacement{Racks: je.assignment.Racks}
+		} else {
+			policy = dfs.DefaultPlacement{}
+		}
+		name := fmt.Sprintf("job%d-stage%d-input", j.ID, si)
+		f, err := rt.store.Create(name, st.Profile.InputBytes, policy)
+		if err != nil {
+			return nil, err
+		}
+		je.inputFiles = append(je.inputFiles, f)
+		je.inputStage = append(je.inputStage, si)
+	}
+	return je, nil
+}
+
+// sortDispatchOrder fixes the static part of job ordering; arrival gating
+// happens at dispatch time.
+func (rt *runtime) sortDispatchOrder() {
+	// FIFO by arrival (the capacity-scheduler baseline order, which also
+	// keeps ad-hoc jobs from being starved by later-arriving planned work);
+	// among same-arrival jobs, planned priority governs for the plan-driven
+	// schedulers (§3.1: the slot goes to the highest-priority job).
+	rt.byOrder = append(rt.byOrder[:0], rt.jobs...)
+	sort.SliceStable(rt.byOrder, func(a, b int) bool {
+		ja, jb := rt.byOrder[a], rt.byOrder[b]
+		if ja.job.Arrival != jb.job.Arrival {
+			return ja.job.Arrival < jb.job.Arrival
+		}
+		switch rt.opts.Scheduler {
+		case Corral, LocalShuffle:
+			pa, pb := ja.planPriority(), jb.planPriority()
+			if pa != pb {
+				return pa < pb
+			}
+		}
+		return ja.job.ID < jb.job.ID
+	})
+}
+
+func (rt *runtime) run() (*Result, error) {
+	rt.active = len(rt.jobs)
+	for _, je := range rt.jobs {
+		je := je
+		rt.sim.At(des.Time(je.job.Arrival), func() { rt.submit(je) })
+	}
+	for _, f := range rt.opts.Failures {
+		machine := f.Machine
+		rt.sim.At(des.Time(f.At), func() { rt.failMachine(machine) })
+	}
+	rt.sim.Run()
+
+	res := &Result{
+		Scheduler:      rt.opts.Scheduler,
+		CrossRackBytes: rt.net.CrossRackBytes(),
+		InputRackCoV:   rt.store.RackCoV(),
+		Events:         rt.sim.Fired(),
+	}
+	for _, je := range rt.jobs {
+		if je.completion < 0 {
+			return nil, fmt.Errorf("runtime: job %d never completed (deadlock?)", je.job.ID)
+		}
+		jr := JobResult{
+			ID:             je.job.ID,
+			Name:           je.job.Name,
+			AdHoc:          je.job.AdHoc,
+			Arrival:        je.job.Arrival,
+			Completion:     je.completion,
+			CompletionTime: je.completion - je.job.Arrival,
+			Slots:          je.job.Slots(),
+			CrossRackBytes: rt.net.CrossRackBytesByJob(je.job.ID),
+			TaskSeconds:    je.taskSeconds,
+			ReduceSeconds:  je.reduceSeconds,
+			RacksUsed:      len(je.racksTouched),
+		}
+		res.Jobs = append(res.Jobs, jr)
+		res.TaskSeconds += jr.TaskSeconds
+		if je.completion > res.Makespan {
+			res.Makespan = je.completion
+		}
+	}
+	return res, nil
+}

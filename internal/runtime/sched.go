@@ -1,0 +1,225 @@
+package runtime
+
+import "corral/internal/des"
+
+// Dispatch: the resource-manager side of the runtime. Whenever slots free
+// up or new tasks become runnable, pending tasks are matched to free slots
+// according to the configured policy.
+//
+// Job order is fixed by sortDispatchOrder (FIFO for Yarn-CS and
+// ShuffleWatcher; planner priority for Corral/LocalShuffle, with ad-hoc
+// jobs after all planned jobs). Placement constraints (allowedRacks) are
+// hard; locality preferences for map tasks are soft and widen with delay
+// scheduling (§3.1, [48]): after DelayNodeLocal declined opportunities a
+// job accepts rack-local slots, after DelayRackLocal any slot.
+
+// shuffleMachineOrder re-permutes the heartbeat order (Fisher-Yates on the
+// runtime's seeded rng, so runs stay deterministic).
+func (rt *runtime) shuffleMachineOrder() {
+	n := len(rt.machineOrder)
+	for i := n - 1; i > 0; i-- {
+		j := rt.rng.Intn(i + 1)
+		rt.machineOrder[i], rt.machineOrder[j] = rt.machineOrder[j], rt.machineOrder[i]
+	}
+}
+
+// requestDispatch coalesces dispatch work to one event per instant.
+func (rt *runtime) requestDispatch() {
+	if rt.dispatchPending {
+		return
+	}
+	rt.dispatchPending = true
+	rt.sim.After(0, func() {
+		rt.dispatchPending = false
+		rt.dispatch()
+	})
+}
+
+// dispatch greedily fills free slots until no job accepts one. If jobs
+// declined slots waiting for locality, a heartbeat retry is scheduled —
+// that retry is when the delay-scheduling skip counters actually buy the
+// job wider locality, so the "delay" is real simulated time.
+//
+// Machines are visited in a freshly shuffled order on every pass: YARN
+// node-manager heartbeats arrive in effectively random order, and a fixed
+// index order would let the FIFO scheduler pack jobs into low-numbered
+// racks "for free".
+func (rt *runtime) dispatch() {
+	rt.declined = false
+	for {
+		assigned := false
+		rt.shuffleMachineOrder()
+		for _, m := range rt.machineOrder {
+			if rt.dead[m] {
+				continue
+			}
+			for rt.freeSlots[m] > 0 && rt.offerSlot(m) {
+				assigned = true
+			}
+		}
+		if !assigned {
+			break
+		}
+	}
+	if rt.declined && !rt.retryPending {
+		rt.retryPending = true
+		rt.sim.After(des.Time(rt.opts.Heartbeat), func() {
+			rt.retryPending = false
+			rt.dispatch()
+		})
+	}
+}
+
+// offerSlot offers one slot on machine m. Under the plan-driven
+// schedulers with both planned and ad-hoc jobs present, the two groups
+// form capacity-scheduler queues: the freed slot goes first to whichever
+// queue is under its share (work-conserving in both directions). With a
+// single queue the slot is offered in plain dispatch order.
+func (rt *runtime) offerSlot(m int) bool {
+	queued := (rt.opts.Scheduler == Corral || rt.opts.Scheduler == LocalShuffle) &&
+		rt.havePlanned && rt.haveAdhoc
+	if !queued {
+		return rt.offerSlotTo(m, nil)
+	}
+	planned := func(je *jobExec) bool { return je.assignment != nil }
+	adhoc := func(je *jobExec) bool { return je.assignment == nil }
+	adhocFirst := float64(rt.runningAdhoc) <
+		rt.opts.AdhocShare*float64(rt.runningPlanned+rt.runningAdhoc+1)
+	if adhocFirst {
+		return rt.offerSlotTo(m, adhoc) || rt.offerSlotTo(m, planned)
+	}
+	return rt.offerSlotTo(m, planned) || rt.offerSlotTo(m, adhoc)
+}
+
+// offerSlotTo offers one slot on machine m to jobs in dispatch order that
+// match the filter (nil = all). It returns true if a task was launched.
+func (rt *runtime) offerSlotTo(m int, filter func(*jobExec) bool) bool {
+	rack := rt.cluster.RackOf(m)
+	for _, je := range rt.byOrder {
+		if !je.submitted || je.done() {
+			continue
+		}
+		if filter != nil && !filter(je) {
+			continue
+		}
+		if !je.allowsRack(rack) {
+			continue
+		}
+		hadMaps := false
+		level := je.localityLevel(rt)
+
+		// 1) Node-local maps from any mapping stage.
+		for _, st := range je.stages {
+			if st.phase != stageMapping {
+				continue
+			}
+			if st.pendingMapCount > 0 {
+				hadMaps = true
+			}
+			if t := popTask(st.byMachine, m, st); t != nil {
+				je.skips = 0
+				rt.runMap(st, t, m)
+				return true
+			}
+		}
+		// 2) Preference-free maps.
+		for _, st := range je.stages {
+			if st.phase != stageMapping {
+				continue
+			}
+			if t := popSlice(&st.anywhere, st); t != nil {
+				rt.runMap(st, t, m)
+				return true
+			}
+		}
+		// 3) Reduce tasks (no soft locality; constraints already applied).
+		for _, st := range je.stages {
+			if st.phase == stageReducing && st.pendingReduces > 0 {
+				st.pendingReduces--
+				rt.runReduce(st, m)
+				return true
+			}
+		}
+		// 4) Rack-local maps once patience level allows.
+		if level >= 1 {
+			for _, st := range je.stages {
+				if st.phase != stageMapping {
+					continue
+				}
+				if t := popTask(st.byRack, rack, st); t != nil {
+					rt.runMap(st, t, m)
+					return true
+				}
+			}
+		}
+		// 5) Any map once fully patient.
+		if level >= 2 {
+			for _, st := range je.stages {
+				if st.phase != stageMapping {
+					continue
+				}
+				if t := popSlice(&st.anyPref, st); t != nil {
+					rt.runMap(st, t, m)
+					return true
+				}
+			}
+		}
+		if hadMaps {
+			// Declined for locality: one delay-scheduling skip.
+			je.skips++
+			rt.declined = true
+		}
+	}
+	return false
+}
+
+// localityLevel maps the job's skip counter to an allowed locality level:
+// 0 node-local only, 1 rack-local, 2 anywhere.
+func (je *jobExec) localityLevel(rt *runtime) int {
+	switch {
+	case je.skips < rt.opts.DelayNodeLocal:
+		return 0
+	case je.skips < rt.opts.DelayRackLocal:
+		return 1
+	}
+	return 2
+}
+
+// popTask pops an unassigned task from an index bucket, lazily discarding
+// entries already assigned through other buckets.
+func popTask(idx map[int][]*mapTask, key int, st *stageExec) *mapTask {
+	lst := idx[key]
+	for len(lst) > 0 {
+		t := lst[len(lst)-1]
+		lst = lst[:len(lst)-1]
+		if !t.assigned {
+			idx[key] = lst
+			t.assigned = true
+			st.pendingMapCount--
+			return t
+		}
+	}
+	if len(lst) == 0 {
+		delete(idx, key)
+	} else {
+		idx[key] = lst
+	}
+	return nil
+}
+
+// popSlice pops an unassigned task from a plain list.
+func popSlice(lst *[]*mapTask, st *stageExec) *mapTask {
+	l := *lst
+	for len(l) > 0 {
+		t := l[len(l)-1]
+		l = l[:len(l)-1]
+		if !t.assigned {
+			*lst = l
+			t.assigned = true
+			st.pendingMapCount--
+			return t
+		}
+	}
+	*lst = l
+	return nil
+}

@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"math/rand"
+
+	"corral/internal/job"
+)
+
+// Sensitivity-analysis helpers (§6.5, Fig 13): the planner plans on one
+// version of the workload while the cluster runs another — either the data
+// sizes differ (prediction error) or arrivals shift (upload/dependency
+// delays).
+
+// Clone deep-copies a job list so one copy can be perturbed independently.
+func Clone(jobs []*job.Job) []*job.Job {
+	out := make([]*job.Job, len(jobs))
+	for i, j := range jobs {
+		c := *j
+		c.Stages = append([]job.Stage(nil), j.Stages...)
+		for si := range c.Stages {
+			c.Stages[si].Upstream = append([]int(nil), j.Stages[si].Upstream...)
+		}
+		out[i] = &c
+	}
+	return out
+}
+
+// PerturbSizes returns a deep copy of jobs whose data volumes are each
+// multiplied by an independent uniform factor in [1-errFrac, 1+errFrac]
+// (Fig 13a's error injection: "we varied the amount of data processed by
+// jobs up to 50%").
+func PerturbSizes(jobs []*job.Job, errFrac float64, seed int64) []*job.Job {
+	rng := rand.New(rand.NewSource(seed))
+	out := Clone(jobs)
+	for _, j := range out {
+		f := 1 + (rng.Float64()*2-1)*errFrac
+		if f < 0.01 {
+			f = 0.01
+		}
+		for si := range j.Stages {
+			p := &j.Stages[si].Profile
+			p.InputBytes *= f
+			p.ShuffleBytes *= f
+			p.OutputBytes *= f
+		}
+	}
+	return out
+}
+
+// PerturbArrivals returns a deep copy of jobs where a fraction of jobs
+// gets a random start-time shift in [-delay, +delay] seconds, clamped at
+// zero (Fig 13b: f of the jobs delayed within ±t).
+func PerturbArrivals(jobs []*job.Job, fraction, delay float64, seed int64) []*job.Job {
+	rng := rand.New(rand.NewSource(seed))
+	out := Clone(jobs)
+	for _, j := range out {
+		if rng.Float64() >= fraction {
+			continue
+		}
+		j.Arrival += (rng.Float64()*2 - 1) * delay
+		if j.Arrival < 0 {
+			j.Arrival = 0
+		}
+	}
+	return out
+}
+
+// MarkAdHoc flags every job in the list as ad hoc (unplannable) and
+// returns the list for chaining.
+func MarkAdHoc(jobs []*job.Job) []*job.Job {
+	for _, j := range jobs {
+		j.AdHoc = true
+		j.Recurring = false
+	}
+	return jobs
+}
+
+// Renumber re-assigns contiguous IDs starting at first so two generated
+// lists can be merged without collisions.
+func Renumber(jobs []*job.Job, first int) []*job.Job {
+	for i, j := range jobs {
+		j.ID = first + i
+	}
+	return jobs
+}

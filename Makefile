@@ -1,0 +1,32 @@
+# Mirrors .github/workflows/ci.yml: `make check` is the full tier-1 gate
+# locally, in the same order CI runs it.
+
+GO ?= go
+
+.PHONY: check build vet fmt-check test race corralvet
+
+check: build vet fmt-check test race corralvet
+	@echo "check: all gates passed"
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; \
+		echo "$$out" >&2; \
+		exit 1; \
+	fi
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+corralvet:
+	$(GO) run ./cmd/corralvet ./...

@@ -1,6 +1,7 @@
 package corral_test
 
 import (
+	"sort"
 	"testing"
 
 	"corral"
@@ -20,9 +21,16 @@ func TestReplanViaAPI(t *testing.T) {
 		j.ID = len(wave1) + 1 + i
 		j.Arrival = 100
 	}
+	// Sorted by job ID: Assignments is a map, and the commitment order
+	// fed to Replan must not depend on its random iteration order.
+	ids := make([]int, 0, len(plan1.Assignments))
+	for id := range plan1.Assignments {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
 	var commitments []corral.Commitment
-	for _, a := range plan1.Assignments {
-		if a.End() > 100 {
+	for _, id := range ids {
+		if a := plan1.Assignments[id]; a.End() > 100 {
 			commitments = append(commitments, corral.Commitment{Racks: a.Racks, Until: a.End()})
 		}
 	}

@@ -1,0 +1,68 @@
+// Command corralvet runs the corral determinism & simulation-safety
+// analyzer suite (internal/analysis) over the given package patterns.
+//
+// Usage:
+//
+//	go run ./cmd/corralvet ./...
+//	go run ./cmd/corralvet -c maporder,floateq ./internal/netsim
+//	go run ./cmd/corralvet -tests ./...
+//	go run ./cmd/corralvet -list
+//
+// Exit status: 0 if clean, 1 if any diagnostic was reported, 2 on load
+// or usage errors. Findings print one per line as
+//
+//	file:line:col: [check] message
+//
+// and intentional findings are suppressed in the source with a
+// //corralvet:ok <check> <reason> comment on the flagged line or the
+// line directly above (see DESIGN.md, "Determinism contract").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"corral/internal/analysis"
+)
+
+func main() {
+	checks := flag.String("c", "", "comma-separated subset of checks to run (default: all)")
+	tests := flag.Bool("tests", false, "also analyze _test.go files")
+	list := flag.Bool("list", false, "list available checks and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: corralvet [-c checks] [-tests] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.Analyzers() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	analyzers, err := analysis.ByName(*checks)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "corralvet:", err)
+		os.Exit(2)
+	}
+	pkgs, err := analysis.Load(analysis.LoadConfig{Tests: *tests}, flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "corralvet:", err)
+		os.Exit(2)
+	}
+	diags := analysis.RunAnalyzers(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "corralvet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -10,6 +10,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"sort"
 
 	"corral"
 )
@@ -43,10 +44,17 @@ func main() {
 	}
 
 	// At t=60 the second wave's estimates arrive. Jobs from wave 1 that
-	// are expected to still be running hold their racks as commitments.
+	// are expected to still be running hold their racks as commitments
+	// (sorted by job ID: Assignments is a map, and commitment order must
+	// not depend on its random iteration order).
+	ids := make([]int, 0, len(plan1.Assignments))
+	for id := range plan1.Assignments {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
 	var commitments []corral.Commitment
-	for _, a := range plan1.Assignments {
-		if a.End() > wave2At {
+	for _, id := range ids {
+		if a := plan1.Assignments[id]; a.End() > wave2At {
 			commitments = append(commitments, corral.Commitment{Racks: a.Racks, Until: a.End()})
 		}
 	}

@@ -1,0 +1,247 @@
+// Package analysis implements corralvet, a vet-style static-analysis
+// suite enforcing the simulator's determinism contract (see DESIGN.md,
+// "Determinism contract"). Every experiment result in EXPERIMENTS.md
+// depends on a run being a pure function of (inputs, seed); the analyzers
+// here turn the hand-maintained conventions that guarantee that — sorted
+// map iteration, virtual time only, injected seeded randomness, no exact
+// float equality, no second-scale/nanosecond-scale mixing — into
+// build-time diagnostics.
+//
+// The package is stdlib-only: packages are loaded with go/parser and
+// type-checked with go/types backed by the source importer, so go.mod
+// stays dependency-free.
+//
+// A finding that is intentional is suppressed with a comment on the same
+// line or the line directly above:
+//
+//	//corralvet:ok <check> <reason>
+//
+// The reason is mandatory; an annotation without one is itself reported.
+//
+// Determinism obligations of this package: corralvet only reads source
+// trees; its diagnostics are emitted in (file, line, column) order so its
+// own output is stable across runs.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	Name string // short lower-case identifier, used in diagnostics and suppressions
+	Doc  string // one-line description for -list
+	Run  func(*Pass)
+}
+
+// Pass carries one package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// Module is the module path ("corral"); analyzers that apply only to
+	// simulation packages test Pkg.Path() against Module + "/internal/".
+	Module string
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     p.Fset.Position(pos),
+		Check:   p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Position
+	Check   string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+}
+
+// Analyzers returns the full corralvet suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		MapOrder,
+		WallClock,
+		SeedRand,
+		FloatEq,
+		CtxTime,
+	}
+}
+
+// ByName resolves a comma-separated check list ("maporder,floateq").
+func ByName(names string) ([]*Analyzer, error) {
+	all := Analyzers()
+	if names == "" {
+		return all, nil
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		found := false
+		for _, a := range all {
+			if a.Name == n {
+				out = append(out, a)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown check %q", n)
+		}
+	}
+	return out, nil
+}
+
+// suppressionDirective is the comment prefix recognized on the flagged
+// line or the line directly above it.
+const suppressionDirective = "corralvet:ok"
+
+// suppressionKey identifies one (file, line) slot.
+type suppressionKey struct {
+	file string
+	line int
+}
+
+// suppressions maps (file, line) -> set of suppressed check names.
+type suppressions map[suppressionKey]map[string]bool
+
+// collectSuppressions scans the comments of files for corralvet:ok
+// directives. Malformed directives (no check name, or no reason) are
+// returned as diagnostics so they cannot silently suppress nothing.
+func collectSuppressions(fset *token.FileSet, files []*ast.File, knownChecks map[string]bool) (suppressions, []Diagnostic) {
+	sup := suppressions{}
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimPrefix(text, "/*")
+				text = strings.TrimSuffix(text, "*/")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, suppressionDirective) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, suppressionDirective))
+				fields := strings.Fields(rest)
+				pos := fset.Position(c.Pos())
+				switch {
+				case len(fields) == 0:
+					bad = append(bad, Diagnostic{Pos: pos, Check: "corralvet",
+						Message: "malformed suppression: want //corralvet:ok <check> <reason>"})
+					continue
+				case len(fields) < 2:
+					bad = append(bad, Diagnostic{Pos: pos, Check: "corralvet",
+						Message: fmt.Sprintf("suppression of %q needs a reason: //corralvet:ok %s <reason>", fields[0], fields[0])})
+					continue
+				case knownChecks != nil && !knownChecks[fields[0]]:
+					bad = append(bad, Diagnostic{Pos: pos, Check: "corralvet",
+						Message: fmt.Sprintf("suppression names unknown check %q", fields[0])})
+					continue
+				}
+				k := suppressionKey{file: pos.Filename, line: pos.Line}
+				if sup[k] == nil {
+					sup[k] = map[string]bool{}
+				}
+				sup[k][fields[0]] = true
+			}
+		}
+	}
+	return sup, bad
+}
+
+// suppressed reports whether d is covered by a directive on its line or
+// the line directly above.
+func (s suppressions) suppressed(d Diagnostic) bool {
+	for _, line := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
+		if s[suppressionKey{file: d.Pos.Filename, line: line}][d.Check] {
+			return true
+		}
+	}
+	return false
+}
+
+// RunAnalyzers applies the given analyzers to every package and returns
+// the surviving (non-suppressed) diagnostics in (file, line, col, check)
+// order, plus diagnostics for malformed suppression comments.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	known := map[string]bool{}
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		var raw []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				Module:   pkg.Module,
+				diags:    &raw,
+			}
+			a.Run(pass)
+		}
+		sup, bad := collectSuppressions(pkg.Fset, pkg.Files, known)
+		for _, d := range raw {
+			if !sup.suppressed(d) {
+				out = append(out, d)
+			}
+		}
+		out = append(out, bad...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+	return out
+}
+
+// exprString renders an expression compactly for diagnostics and for the
+// collected-and-sorted idiom match in maporder (textual identity is
+// sufficient there: the idiom appends to and sorts the same local).
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[" + exprString(e.Index) + "]"
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(…)"
+	case *ast.BasicLit:
+		return e.Value
+	}
+	return "<expr>"
+}

@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMalformedSuppressionsAreReported(t *testing.T) {
+	pkg := checkFixture(t, "corral/internal/fixture", `package fixture
+
+//corralvet:ok
+func a() {}
+
+//corralvet:ok maporder
+func b() {}
+
+//corralvet:ok nosuchcheck because reasons
+func c() {}
+`)
+	diags := RunAnalyzers([]*Package{pkg}, Analyzers())
+	if len(diags) != 3 {
+		t.Fatalf("want 3 malformed-suppression diagnostics, got %d: %v", len(diags), diags)
+	}
+	wantParts := []string{"malformed suppression", "needs a reason", "unknown check"}
+	for i, part := range wantParts {
+		if diags[i].Check != "corralvet" {
+			t.Errorf("diag %d: check = %q, want corralvet", i, diags[i].Check)
+		}
+		if !strings.Contains(diags[i].Message, part) {
+			t.Errorf("diag %d: message %q does not mention %q", i, diags[i].Message, part)
+		}
+	}
+}
+
+func TestSuppressionOnlySilencesNamedCheck(t *testing.T) {
+	// A wallclock suppression must not hide the seedrand finding on the
+	// same line.
+	pkg := checkFixture(t, "corral/internal/fixture", `package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func f() int {
+	//corralvet:ok wallclock measuring host time on purpose
+	_ = time.Now()
+	return rand.Intn(6)
+}
+`)
+	diags := RunAnalyzers([]*Package{pkg}, Analyzers())
+	if len(diags) != 1 || diags[0].Check != "seedrand" {
+		t.Fatalf("want exactly one seedrand diagnostic, got %v", diags)
+	}
+}
+
+func TestDiagnosticsAreOrdered(t *testing.T) {
+	pkg := checkFixture(t, "corral/internal/fixture", `package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func late() int { return rand.Intn(6) }
+
+func early() { _ = time.Now() }
+`)
+	diags := RunAnalyzers([]*Package{pkg}, Analyzers())
+	if len(diags) != 2 {
+		t.Fatalf("want 2 diagnostics, got %v", diags)
+	}
+	if diags[0].Pos.Line > diags[1].Pos.Line {
+		t.Errorf("diagnostics out of order: %v", diags)
+	}
+}
+
+func TestByName(t *testing.T) {
+	got, err := ByName("maporder, floateq")
+	if err != nil || len(got) != 2 || got[0].Name != "maporder" || got[1].Name != "floateq" {
+		t.Fatalf("ByName: got %v, err %v", got, err)
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Fatal("ByName(bogus): want error")
+	}
+	all, err := ByName("")
+	if err != nil || len(all) != len(Analyzers()) {
+		t.Fatalf("ByName(\"\"): got %d analyzers, err %v", len(all), err)
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	pkg := checkFixture(t, "corral/internal/fixture", `package fixture
+
+import "math/rand"
+
+func f() int { return rand.Intn(6) }
+`)
+	diags := RunAnalyzers([]*Package{pkg}, Analyzers())
+	if len(diags) != 1 {
+		t.Fatalf("want 1 diagnostic, got %v", diags)
+	}
+	s := diags[0].String()
+	if !strings.Contains(s, "[seedrand]") || !strings.Contains(s, ":5:") {
+		t.Errorf("Diagnostic.String() = %q, want file:5:col: [seedrand] ...", s)
+	}
+}

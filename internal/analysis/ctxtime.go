@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxTime flags direct numeric conversions between time.Duration and
+// floating-point types. The simulator stores all durations as float
+// seconds (des.Time); time.Duration counts integer nanoseconds. A bare
+// float64(d) or time.Duration(f) silently mixes the two scales by a
+// factor of 1e9 — the correct bridges are d.Seconds() on the way out and
+// an expression scaled by time.Second (e.g.
+// time.Duration(sec * float64(time.Second))) on the way in.
+//
+// Conversions whose argument already mentions a time.Duration operand
+// (the time.Second scale factor) are recognized as scale-aware and not
+// flagged.
+var CtxTime = &Analyzer{
+	Name: "ctxtime",
+	Doc:  "bare conversion between time.Duration (ns) and float seconds; use d.Seconds() or scale by time.Second",
+	Run:  runCtxTime,
+}
+
+func runCtxTime(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			target, isConv := conversionTo(pass.Info, call)
+			if !isConv {
+				return true
+			}
+			arg := call.Args[0]
+			argTV, ok := pass.Info.Types[arg]
+			if !ok {
+				return true
+			}
+			switch {
+			case isDuration(target) && isFloatNotDuration(argTV.Type):
+				if mentionsDuration(pass.Info, arg) {
+					return true // scaled by time.Second or similar
+				}
+				pass.Reportf(call.Pos(),
+					"time.Duration(%s) interprets float seconds as nanoseconds; scale by time.Second first",
+					exprString(arg))
+			case isFloatNotDuration(target) && isDuration(argTV.Type):
+				if argTV.Value != nil {
+					return true // float64(time.Second): the scale-factor idiom
+				}
+				pass.Reportf(call.Pos(),
+					"%s(%s) yields raw nanoseconds as a float; use (%s).Seconds() for seconds",
+					exprString(call.Fun), exprString(arg), exprString(arg))
+			}
+			return true
+		})
+	}
+}
+
+// isFloatNotDuration reports a floating-point type (Duration itself is
+// integer-based, but guard anyway against named wrappers).
+func isFloatNotDuration(t types.Type) bool {
+	return isFloat(t) && !isDuration(t)
+}

@@ -1,0 +1,48 @@
+package analysis
+
+import "testing"
+
+func TestCtxTimeBareConversions(t *testing.T) {
+	runFixture(t, CtxTime, `package fixture
+
+import "time"
+
+type seconds float64
+
+func mix(sec float64, d time.Duration, s seconds) (time.Duration, float64) {
+	bad := time.Duration(sec) // want ctxtime
+	raw := float64(d)         // want ctxtime
+	worse := time.Duration(s) // want ctxtime
+	return bad + worse, raw
+}
+`)
+}
+
+func TestCtxTimeScaleAwareConversionsAreSilent(t *testing.T) {
+	runFixture(t, CtxTime, `package fixture
+
+import "time"
+
+func bridge(sec float64, d time.Duration) (time.Duration, float64) {
+	in := time.Duration(sec * float64(time.Second))
+	out := d.Seconds()
+	return in, out
+}
+
+func untouched(d time.Duration) int64 {
+	return int64(d) // integer conversion keeps the ns scale explicit
+}
+`)
+}
+
+func TestCtxTimeSuppression(t *testing.T) {
+	runFixture(t, CtxTime, `package fixture
+
+import "time"
+
+func nanos(d time.Duration) float64 {
+	//corralvet:ok ctxtime raw nanoseconds wanted for histogram bucketing
+	return float64(d)
+}
+`)
+}

@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags == and != between floating-point operands (including
+// named float types such as des.Time). Computed floats — rates, demands,
+// completion times — accumulate rounding, so exact comparison encodes an
+// assumption about the arithmetic that silently breaks when evaluation
+// order changes; use an epsilon comparison helper instead.
+//
+// Two idioms are exempt because exact comparison is the correct tool:
+//
+//   - comparisons against compile-time constants (x == 0, x != sentinel):
+//     exact-representation checks on values the program assigned
+//     literally, the dominant deliberate pattern in this codebase;
+//   - comparisons inside comparator-shaped functions — func(T, T) bool
+//     with non-float T, i.e. sort.Slice literals, Less methods, and named
+//     tie-break helpers — where an epsilon would destroy the strict weak
+//     ordering that sorting requires.
+//
+// Remaining intentional exact comparisons (e.g. same-instant event
+// coalescing on des.Time) carry a //corralvet:ok floateq <reason>
+// annotation.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "==/!= between computed float operands; compare with an epsilon helper",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Walk(&floatEqWalker{pass: pass}, file)
+	}
+}
+
+// floatEqWalker tracks the innermost enclosing function so comparator
+// bodies can be exempted.
+type floatEqWalker struct {
+	pass         *Pass
+	inComparator bool
+}
+
+func (w *floatEqWalker) Visit(n ast.Node) ast.Visitor {
+	switch n := n.(type) {
+	case *ast.FuncDecl:
+		sig, _ := w.pass.Info.Defs[n.Name].Type().(*types.Signature)
+		return &floatEqWalker{pass: w.pass, inComparator: comparatorShaped(sig)}
+	case *ast.FuncLit:
+		sig, _ := w.pass.Info.Types[n].Type.(*types.Signature)
+		return &floatEqWalker{pass: w.pass, inComparator: comparatorShaped(sig)}
+	case *ast.BinaryExpr:
+		w.check(n)
+	}
+	return w
+}
+
+func (w *floatEqWalker) check(be *ast.BinaryExpr) {
+	if w.inComparator || (be.Op != token.EQL && be.Op != token.NEQ) {
+		return
+	}
+	xt, xok := w.pass.Info.Types[be.X]
+	yt, yok := w.pass.Info.Types[be.Y]
+	if !xok || !yok || !isFloat(xt.Type) || !isFloat(yt.Type) {
+		return
+	}
+	// Constant operand => sentinel check, allowed.
+	if xt.Value != nil || yt.Value != nil {
+		return
+	}
+	w.pass.Reportf(be.OpPos,
+		"%s %s %s compares computed floats exactly; use an epsilon comparison (or annotate if exact identity is intended)",
+		exprString(be.X), be.Op, exprString(be.Y))
+}
+
+// comparatorShaped reports whether sig is func(T, T) bool with non-float
+// T: the shape of sort comparators and tie-break helpers, where exact
+// float comparison is required for a strict weak ordering. A float T
+// (func(a, b float64) bool) is exactly the epsilon-helper shape and is
+// not exempt.
+func comparatorShaped(sig *types.Signature) bool {
+	if sig == nil {
+		return false
+	}
+	params, results := sig.Params(), sig.Results()
+	if params.Len() != 2 || results.Len() != 1 {
+		return false
+	}
+	rb, ok := results.At(0).Type().Underlying().(*types.Basic)
+	if !ok || rb.Kind() != types.Bool {
+		return false
+	}
+	t0, t1 := params.At(0).Type(), params.At(1).Type()
+	return types.Identical(t0, t1) && !isFloat(t0)
+}

@@ -1,0 +1,94 @@
+package analysis
+
+import "testing"
+
+func TestFloatEqComputedComparison(t *testing.T) {
+	runFixture(t, FloatEq, `package fixture
+
+type Time float64
+
+func converged(rate, want float64, a, b Time) bool {
+	if rate == want { // want floateq
+		return true
+	}
+	return a != b // want floateq
+}
+`)
+}
+
+func TestFloatEqSentinelConstantsAreSilent(t *testing.T) {
+	runFixture(t, FloatEq, `package fixture
+
+const unset = -1.0
+
+func classify(demand float64) int {
+	if demand == 0 {
+		return 0
+	}
+	if demand != unset {
+		return 1
+	}
+	return 2
+}
+`)
+}
+
+func TestFloatEqComparatorsAreSilent(t *testing.T) {
+	runFixture(t, FloatEq, `package fixture
+
+import "sort"
+
+type byScore struct{ score []float64 }
+
+func (s byScore) Len() int      { return len(s.score) }
+func (s byScore) Swap(i, j int) { s.score[i], s.score[j] = s.score[j], s.score[i] }
+func (s byScore) Less(i, j int) bool {
+	if s.score[i] != s.score[j] {
+		return s.score[i] < s.score[j]
+	}
+	return i < j
+}
+
+type entry struct {
+	f  float64
+	id int
+}
+
+func order(entries []entry, score []float64) {
+	tie := func(a, b int) bool {
+		if score[a] != score[b] {
+			return score[a] > score[b]
+		}
+		return a < b
+	}
+	sort.Slice(entries, func(x, y int) bool {
+		if entries[x].f != entries[y].f {
+			return entries[x].f < entries[y].f
+		}
+		return tie(entries[x].id, entries[y].id)
+	})
+}
+`)
+}
+
+func TestFloatEqEpsilonHelperShapeIsFlagged(t *testing.T) {
+	// func(a, b float64) bool is the epsilon-helper shape, not a
+	// comparator over indexes; exact equality inside it is the very bug
+	// the helper should fix.
+	runFixture(t, FloatEq, `package fixture
+
+func equal(a, b float64) bool {
+	return a == b // want floateq
+}
+`)
+}
+
+func TestFloatEqSuppression(t *testing.T) {
+	runFixture(t, FloatEq, `package fixture
+
+func sameInstant(a, b float64, c int) bool {
+	//corralvet:ok floateq exact identity intended: both sides copy the same scheduled instant
+	return a == b && c > 0
+}
+`)
+}

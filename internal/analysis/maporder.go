@@ -1,0 +1,218 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MapOrder flags `range` statements over maps whose bodies are
+// order-sensitive: Go randomizes map iteration order per run, so any
+// observable effect that depends on visit order breaks bit-for-bit
+// reproducibility.
+//
+// Order-sensitive bodies are those that
+//   - append to a variable declared outside the loop (unless every such
+//     variable is sorted after the loop — the collect-and-sort idiom used
+//     in internal/runtime/exec.go),
+//   - emit output (fmt print family, builtin print/println, Write* /
+//     AddRow methods, channel sends), or
+//   - consume order-sensitive simulator state: a *math/rand.Rand (stream
+//     position depends on call order), the *des.Simulator clock/queue
+//     (event sequence numbers depend on scheduling order), or the
+//     *netsim.Network flow API (flow setup order feeds the allocator).
+//
+// The fix is to collect the keys, sort them, and range over the sorted
+// slice; truly order-insensitive loops can be annotated with
+// //corralvet:ok maporder <reason>.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "range over a map with an order-sensitive body (append/emit/rand/schedule) without collect-and-sort",
+	Run:  runMapOrder,
+}
+
+// emitMethods are method names that externalize values in call order.
+var emitMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"AddRow": true, "Printf": true, "Print": true, "Println": true,
+}
+
+// fmtEmitFuncs are fmt package functions that write to a sink (the pure
+// Sprint family is excluded; its results flow into appends or emits that
+// are caught separately).
+var fmtEmitFuncs = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+// orderSensitiveRecvs are receiver types whose methods consume hidden
+// sequence state, making call order observable. Module-relative entries
+// (leading "/") are resolved against the analyzed module's path.
+var orderSensitiveRecvs = []struct{ pkg, name string }{
+	{"math/rand", "Rand"},
+	{"math/rand/v2", "Rand"},
+	{"/internal/des", "Simulator"},
+	{"/internal/netsim", "Network"},
+}
+
+func runMapOrder(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFuncMapRanges(pass, fd.Body)
+		}
+	}
+}
+
+// checkFuncMapRanges finds map ranges in one function body and checks
+// each against the function's trailing sort calls.
+func checkFuncMapRanges(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.Info.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapRangeBody(pass, body, rng)
+		return true
+	})
+}
+
+func checkMapRangeBody(pass *Pass, funcBody *ast.BlockStmt, rng *ast.RangeStmt) {
+	// Variables declared inside the loop body: appends to those are
+	// loop-local scratch, not an escape of iteration order.
+	local := map[types.Object]bool{}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.Info.Defs[id]; obj != nil {
+				local[obj] = true
+			}
+		}
+		return true
+	})
+
+	type appendSite struct {
+		target ast.Expr
+		pos    ast.Node
+	}
+	var appends []appendSite
+
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "channel send inside range over map %s: iteration order is random per run", exprString(rng.X))
+		case *ast.AssignStmt:
+			// lhs = append(lhs, ...) with lhs declared outside the loop.
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(pass.Info, call) || i >= len(n.Lhs) {
+					continue
+				}
+				target := n.Lhs[i]
+				if id, ok := ast.Unparen(target).(*ast.Ident); ok && local[pass.Info.ObjectOf(id)] {
+					continue
+				}
+				appends = append(appends, appendSite{target: target, pos: n})
+			}
+		case *ast.CallExpr:
+			checkMapRangeCall(pass, rng, n)
+		}
+		return true
+	})
+
+	for _, a := range appends {
+		if sortedAfter(pass, funcBody, rng, a.target) {
+			continue
+		}
+		pass.Reportf(a.pos.Pos(),
+			"append to %s inside range over map %s without sorting afterwards: element order is random per run; collect keys and sort first (see internal/runtime/exec.go finishMapsPhase)",
+			exprString(a.target), exprString(rng.X))
+	}
+}
+
+// checkMapRangeCall flags emitting / sequence-consuming calls inside a
+// map-range body.
+func checkMapRangeCall(pass *Pass, rng *ast.RangeStmt, call *ast.CallExpr) {
+	if isPkgFunc(pass.Info, call, "fmt", fmtEmitFuncs) {
+		pass.Reportf(call.Pos(), "output inside range over map %s: emit order is random per run", exprString(rng.X))
+		return
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && (id.Name == "print" || id.Name == "println") {
+		if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+			pass.Reportf(call.Pos(), "output inside range over map %s: emit order is random per run", exprString(rng.X))
+			return
+		}
+	}
+	recv := recvNamed(pass.Info, call)
+	if recv == nil {
+		return
+	}
+	if f := calleeFunc(pass.Info, call); f != nil && emitMethods[f.Name()] {
+		pass.Reportf(call.Pos(), "%s.%s inside range over map %s: emit order is random per run", recv.Obj().Name(), f.Name(), exprString(rng.X))
+		return
+	}
+	for _, r := range orderSensitiveRecvs {
+		pkg := r.pkg
+		if strings.HasPrefix(pkg, "/") {
+			pkg = pass.Module + pkg
+		}
+		if namedIs(recv, pkg, r.name) {
+			pass.Reportf(call.Pos(),
+				"call on %s.%s inside range over map %s: consumes sequence state, so iteration order changes the simulation",
+				pkg, r.name, exprString(rng.X))
+			return
+		}
+	}
+}
+
+// isBuiltinAppend reports whether call invokes the append builtin.
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// sortFuncs are sort/slices calls that establish a deterministic order;
+// the first argument is the slice being sorted.
+var sortFuncs = map[string]bool{
+	"Ints": true, "Strings": true, "Float64s": true,
+	"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+	"SortFunc": true, "SortStableFunc": true,
+}
+
+// sortedAfter reports whether target is passed to a sort call positioned
+// after the range statement within the same function.
+func sortedAfter(pass *Pass, funcBody *ast.BlockStmt, rng *ast.RangeStmt, target ast.Expr) bool {
+	want := exprString(target)
+	found := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() || len(call.Args) == 0 {
+			return true
+		}
+		if !isPkgFunc(pass.Info, call, "sort", sortFuncs) && !isPkgFunc(pass.Info, call, "slices", sortFuncs) {
+			return true
+		}
+		if exprString(call.Args[0]) == want {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,165 @@
+package analysis
+
+import "testing"
+
+func TestMapOrderAppendWithoutSort(t *testing.T) {
+	runFixture(t, MapOrder, `package fixture
+
+func collect(m map[int]int) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k) // want maporder
+	}
+	return keys
+}
+`)
+}
+
+func TestMapOrderCollectAndSortIsSilent(t *testing.T) {
+	runFixture(t, MapOrder, `package fixture
+
+import "sort"
+
+func collect(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func collectSlice(m map[string]float64) []string {
+	var names []string
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(a, b int) bool { return names[a] < names[b] })
+	return names
+}
+`)
+}
+
+func TestMapOrderLoopLocalAppendIsSilent(t *testing.T) {
+	runFixture(t, MapOrder, `package fixture
+
+func sums(m map[int][]int) int {
+	total := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		total += len(local)
+	}
+	return total
+}
+`)
+}
+
+func TestMapOrderEmit(t *testing.T) {
+	runFixture(t, MapOrder, `package fixture
+
+import (
+	"fmt"
+	"strings"
+)
+
+func dump(m map[string]int) string {
+	var b strings.Builder
+	for k, v := range m {
+		fmt.Println(k)        // want maporder
+		b.WriteString(k)      // want maporder
+		fmt.Fprintf(&b, "%d", v) // want maporder
+	}
+	return b.String()
+}
+`)
+}
+
+func TestMapOrderChannelSend(t *testing.T) {
+	runFixture(t, MapOrder, `package fixture
+
+func feed(m map[int]int, ch chan int) {
+	for k := range m {
+		ch <- k // want maporder
+	}
+}
+`)
+}
+
+func TestMapOrderSequenceStateReceivers(t *testing.T) {
+	runFixture(t, MapOrder, `package fixture
+
+import (
+	"math/rand"
+
+	"corral/internal/des"
+	"corral/internal/netsim"
+)
+
+func jitter(m map[int]float64, rng *rand.Rand) float64 {
+	total := 0.0
+	for range m {
+		total += rng.Float64() // want maporder
+	}
+	return total
+}
+
+func schedule(m map[int]float64, sim *des.Simulator, net *netsim.Network) {
+	for k, v := range m {
+		sim.After(des.Time(v), func() {}) // want maporder
+		net.Start(k, k, v)                // want maporder
+	}
+}
+`)
+}
+
+func TestMapOrderAggregationIsSilent(t *testing.T) {
+	// Pure commutative aggregation over values does not externalize
+	// iteration order (float rounding aside, which floateq's epsilon
+	// guidance covers at comparison sites).
+	runFixture(t, MapOrder, `package fixture
+
+func count(m map[int]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func mirror(m map[int]int) map[int]int {
+	out := make(map[int]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+`)
+}
+
+func TestMapOrderSuppression(t *testing.T) {
+	runFixture(t, MapOrder, `package fixture
+
+func collect(m map[int]int) []int {
+	var keys []int
+	for k := range m {
+		//corralvet:ok maporder order consumed by an order-insensitive set union downstream
+		keys = append(keys, k)
+	}
+	return keys
+}
+`)
+}
+
+func TestMapOrderRangeOverSliceIsSilent(t *testing.T) {
+	runFixture(t, MapOrder, `package fixture
+
+func collect(s []int) []int {
+	var out []int
+	for _, v := range s {
+		out = append(out, v)
+	}
+	return out
+}
+`)
+}

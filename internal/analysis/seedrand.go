@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// SeedRand flags randomness that does not flow through an injected,
+// seeded *rand.Rand: the math/rand (and math/rand/v2) package-level
+// functions draw from a shared global source — auto-seeded since Go 1.20,
+// so two runs of the same binary produce different streams — and
+// time-seeded sources are nondeterministic by construction.
+//
+// The approved pattern everywhere in this codebase is
+//
+//	rng := rand.New(rand.NewSource(seed))
+//
+// with rng threaded explicitly to every consumer.
+var SeedRand = &Analyzer{
+	Name: "seedrand",
+	Doc:  "global math/rand top-level functions or time-seeded sources; thread a seeded *rand.Rand instead",
+	Run:  runSeedRand,
+}
+
+// globalRandFuncs are math/rand package-level functions backed by the
+// process-global source.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+}
+
+// globalRandV2Funcs is the math/rand/v2 equivalent.
+var globalRandV2Funcs = map[string]bool{
+	"Int": true, "IntN": true, "Int32": true, "Int32N": true,
+	"Int64": true, "Int64N": true, "Uint": true, "UintN": true,
+	"Uint32": true, "Uint32N": true, "Uint64": true, "Uint64N": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "N": true,
+}
+
+// randConstructors take a seed or source; a wall-clock expression inside
+// their arguments defeats reproducibility even though the constructor
+// itself is fine.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+func runSeedRand(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isPkgFunc(pass.Info, call, "math/rand", globalRandFuncs) ||
+				isPkgFunc(pass.Info, call, "math/rand/v2", globalRandV2Funcs) {
+				f := calleeFunc(pass.Info, call)
+				pass.Reportf(call.Pos(),
+					"rand.%s uses the auto-seeded global source; draw from an injected seeded *rand.Rand instead",
+					f.Name())
+				return true
+			}
+			if isPkgFunc(pass.Info, call, "math/rand", randConstructors) ||
+				isPkgFunc(pass.Info, call, "math/rand/v2", randConstructors) {
+				for _, arg := range call.Args {
+					if containsWallClockCall(pass, arg) {
+						pass.Reportf(call.Pos(),
+							"random source seeded from the wall clock; seeds must be explicit inputs")
+						return true
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// containsWallClockCall reports whether e contains a call into the time
+// package's clock readers (time.Now().UnixNano() and friends).
+func containsWallClockCall(pass *Pass, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && isPkgFunc(pass.Info, call, "time", wallClockFuncs) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

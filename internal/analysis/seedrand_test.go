@@ -1,0 +1,56 @@
+package analysis
+
+import "testing"
+
+func TestSeedRandGlobalFunctions(t *testing.T) {
+	runFixture(t, SeedRand, `package fixture
+
+import "math/rand"
+
+func roll() int {
+	rand.Shuffle(3, func(i, j int) {}) // want seedrand
+	_ = rand.Float64()                 // want seedrand
+	return rand.Intn(6)                // want seedrand
+}
+`)
+}
+
+func TestSeedRandInjectedRngIsSilent(t *testing.T) {
+	runFixture(t, SeedRand, `package fixture
+
+import "math/rand"
+
+func roll(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(3, func(i, j int) {})
+	_ = rng.Float64()
+	return rng.Intn(6)
+}
+`)
+}
+
+func TestSeedRandTimeSeededSource(t *testing.T) {
+	runFixture(t, SeedRand, `package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func sneaky() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want seedrand seedrand
+}
+`)
+}
+
+func TestSeedRandSuppression(t *testing.T) {
+	runFixture(t, SeedRand, `package fixture
+
+import "math/rand"
+
+func quickAndDirty() int {
+	//corralvet:ok seedrand demo helper, result does not feed the simulation
+	return rand.Intn(6)
+}
+`)
+}

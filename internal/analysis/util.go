@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// calleeFunc resolves a call expression to the *types.Func it invokes
+// (package-level function or method), or nil for builtins, conversions,
+// and indirect calls through function values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// isPkgFunc reports whether call invokes a package-level function of
+// pkgPath whose name is in names.
+func isPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath string, names map[string]bool) bool {
+	f := calleeFunc(info, call)
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != pkgPath {
+		return false
+	}
+	if f.Type().(*types.Signature).Recv() != nil {
+		return false
+	}
+	return names[f.Name()]
+}
+
+// recvNamed returns the defined type of a method call's receiver
+// (dereferencing a pointer receiver), or nil for non-method calls.
+func recvNamed(info *types.Info, call *ast.CallExpr) *types.Named {
+	f := calleeFunc(info, call)
+	if f == nil {
+		return nil
+	}
+	recv := f.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return nil
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// namedIs reports whether n is the defined type pkgPath.name.
+func namedIs(n *types.Named, pkgPath, name string) bool {
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// isFloat reports whether t's underlying type is a floating-point kind
+// (covering named float types like des.Time).
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isDuration reports whether t is exactly time.Duration.
+func isDuration(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	return ok && namedIs(n, "time", "Duration")
+}
+
+// mentionsDuration reports whether any operand inside e has type
+// time.Duration (e.g. the time.Second in f*float64(time.Second)), which
+// marks a scale-aware expression.
+func mentionsDuration(info *types.Info, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if x, ok := n.(ast.Expr); ok {
+			if tv, ok := info.Types[x]; ok && isDuration(tv.Type) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isSimPackage reports whether the pass's package is simulation code:
+// anything under <module>/internal/.
+func isSimPackage(pass *Pass) bool {
+	prefix := pass.Module + "/internal/"
+	return strings.HasPrefix(pass.Pkg.Path(), prefix) ||
+		strings.HasPrefix(strings.TrimSuffix(pass.Pkg.Path(), "_test"), prefix)
+}
+
+// conversionTo reports whether call is a type conversion and returns the
+// target type if so.
+func conversionTo(info *types.Info, call *ast.CallExpr) (types.Type, bool) {
+	tv, ok := info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return nil, false
+	}
+	return tv.Type, true
+}

@@ -1,0 +1,49 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// WallClock flags wall-clock time inside simulation packages (anything
+// under <module>/internal/). Simulation time must come exclusively from
+// the virtual clock in internal/des; reading the host clock makes a run
+// a function of the machine it ran on instead of (inputs, seed).
+//
+// Deliberate wall-clock measurements (e.g. reporting the planner's own
+// running time in internal/experiments) are annotated with
+// //corralvet:ok wallclock <reason>.
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "wall-clock time (time.Now/Since/Sleep/...) inside simulation packages; use the internal/des virtual clock",
+	Run:  runWallClock,
+}
+
+// wallClockFuncs are time-package functions that read or depend on the
+// host clock. Pure constructors and formatters (time.Date, time.Unix,
+// d.Seconds) are fine.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"Tick": true, "After": true, "AfterFunc": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+func runWallClock(pass *Pass) {
+	if !isSimPackage(pass) {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isPkgFunc(pass.Info, call, "time", wallClockFuncs) {
+				f := calleeFunc(pass.Info, call)
+				pass.Reportf(call.Pos(),
+					"time.%s reads the wall clock inside a simulation package; simulated time must come from internal/des (Simulator.Now)",
+					f.Name())
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,55 @@
+package analysis
+
+import "testing"
+
+func TestWallClockInSimPackage(t *testing.T) {
+	runFixture(t, WallClock, `package fixture
+
+import "time"
+
+func elapsed() float64 {
+	start := time.Now() // want wallclock
+	time.Sleep(time.Millisecond) // want wallclock
+	return time.Since(start).Seconds() // want wallclock
+}
+`)
+}
+
+func TestWallClockPureTimeUseIsSilent(t *testing.T) {
+	runFixture(t, WallClock, `package fixture
+
+import "time"
+
+func format(d time.Duration) string {
+	return d.String()
+}
+
+func seconds(d time.Duration) float64 {
+	return d.Seconds()
+}
+`)
+}
+
+func TestWallClockOutsideInternalIsSilent(t *testing.T) {
+	runFixture(t, WallClock, `package main
+
+import "time"
+
+func main() {
+	_ = time.Now()
+}
+`, "corral/cmd/tool")
+}
+
+func TestWallClockSuppression(t *testing.T) {
+	runFixture(t, WallClock, `package fixture
+
+import "time"
+
+func plannerWallTime() float64 {
+	start := time.Now() //corralvet:ok wallclock measuring the planner itself, not simulated time
+	//corralvet:ok wallclock measuring the planner itself, not simulated time
+	return time.Since(start).Seconds()
+}
+`)
+}

@@ -18,6 +18,10 @@
 // a strong approximation otherwise: place datasets in decreasing order of
 // read weight, each on the rack(s) covering the most consumer bytes, and
 // split across racks only when capacity binds.
+//
+// Determinism obligations: placement is a pure function of the datasets,
+// jobs and plan — greedy order is fully specified (weight, then id), with
+// no randomness and no map-iteration-order dependence.
 package datadeps
 
 import (

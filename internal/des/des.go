@@ -4,6 +4,11 @@
 // Events scheduled for the same instant fire in the order they were
 // scheduled (FIFO), which keeps simulations deterministic regardless of map
 // iteration order elsewhere in the program.
+//
+// Determinism obligations: a run is a pure function of the sequence of
+// Schedule calls — no wall-clock time, no randomness, no map iteration.
+// Callers inherit the obligation to schedule events in a deterministic
+// order.
 package des
 
 import (

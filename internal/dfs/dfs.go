@@ -10,6 +10,10 @@
 // set R_j; the remaining replicas go to another rack chosen from the rest
 // of the cluster. §4.5 additionally supplements the plan by "greedily
 // placing the last two data replicas on the least loaded rack".
+//
+// Determinism obligations: block placement is a pure function of
+// (inputs, seed) — all "random" choices draw from the caller-injected
+// seeded *rand.Rand, and ties (e.g. least-loaded rack) break by index.
 package dfs
 
 import (

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"corral/internal/runtime"
+)
+
+// TestBatchDeterminism is the determinism regression gate: the same seed
+// must reproduce the size-S batch suite bit for bit — the full
+// runtime.Result structs (per-job completions, reduce-time vectors,
+// cross-rack bytes, event counts), not just the makespan. Two seeds guard
+// against seed-plumbing mistakes that a single seed would hide (e.g. a
+// component falling back to a constant default seed would still be
+// "deterministic" for one seed). Run with -race in CI so hidden
+// concurrency, which would also break determinism, surfaces here.
+func TestBatchDeterminism(t *testing.T) {
+	for _, seed := range []int64{1, 42} {
+		p := Params{Size: SizeS, Seed: seed}
+		first, err := batchSuite(p, batchWorkloads(SizeS))
+		if err != nil {
+			t.Fatalf("seed %d: first run: %v", seed, err)
+		}
+		second, err := batchSuite(p, batchWorkloads(SizeS))
+		if err != nil {
+			t.Fatalf("seed %d: second run: %v", seed, err)
+		}
+		for _, w := range batchWorkloads(SizeS) {
+			for _, k := range allSchedulers {
+				a, b := first[w][k], second[w][k]
+				if a == nil || b == nil {
+					t.Fatalf("seed %d: %s/%v missing result", seed, w, k)
+				}
+				if !reflect.DeepEqual(a, b) {
+					t.Errorf("seed %d: %s under %v not reproducible:\n run1: %+v\n run2: %+v",
+						seed, w, k, summarize(a), summarize(b))
+				}
+			}
+		}
+	}
+}
+
+// TestSeedsActuallyDiffer guards the other direction: if two different
+// seeds produce identical full results, the seed is not being threaded
+// into the workload and runtime at all, and TestBatchDeterminism would
+// pass vacuously.
+func TestSeedsActuallyDiffer(t *testing.T) {
+	a, err := batchSuite(Params{Size: SizeS, Seed: 1}, []string{"W3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := batchSuite(Params{Size: SizeS, Seed: 42}, []string{"W3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a["W3"][runtime.YarnCS], b["W3"][runtime.YarnCS]) {
+		t.Error("seeds 1 and 42 produced identical results; the seed is not reaching the simulation")
+	}
+}
+
+// summarize keeps failure output readable: the full Result (with per-job
+// reduce vectors) is too large to dump wholesale.
+func summarize(r *runtime.Result) map[string]any {
+	return map[string]any{
+		"makespan":       r.Makespan,
+		"crossRackBytes": r.CrossRackBytes,
+		"taskSeconds":    r.TaskSeconds,
+		"inputRackCoV":   r.InputRackCoV,
+		"events":         r.Events,
+		"jobs":           len(r.Jobs),
+	}
+}

@@ -8,6 +8,11 @@
 // paper (the workloads are byte- and task-scaled to keep runs fast); the
 // reproduction target is the shape: who wins, by what rough factor, where
 // trends cross.
+//
+// Determinism obligations: every Report is a pure function of Params
+// (including Params.Seed) — reruns reproduce every metric bit for bit,
+// which TestBatchDeterminism enforces. The only wall-clock reads are the
+// annotated planner-running-time measurements for Fig 5.
 package experiments
 
 import (

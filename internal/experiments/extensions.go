@@ -8,6 +8,7 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"corral/internal/datadeps"
 	"corral/internal/metrics"
@@ -204,9 +205,16 @@ func ExtReplan(p Params) (*Report, error) {
 	all := append(workload.Clone(wave1), workload.Clone(wave2)...)
 
 	// Replanned: commitments from wave-1 assignments still running at t.
+	// Assignments is a map; iterate its keys sorted so the commitment
+	// order (and thus the replan's float accumulation order) is stable.
+	ids := make([]int, 0, len(plan1.Assignments))
+	for id := range plan1.Assignments {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
 	var commitments []planner.Commitment
-	for _, a := range plan1.Assignments {
-		if a.End() > at {
+	for _, id := range ids {
+		if a := plan1.Assignments[id]; a.End() > at {
 			commitments = append(commitments, planner.Commitment{Racks: a.Racks, Until: a.End()})
 		}
 	}

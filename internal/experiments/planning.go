@@ -128,11 +128,11 @@ func Fig5(p Params) (*Report, error) {
 	}
 	for _, n := range sizes {
 		jobs := workload.W1(workload.Config{Seed: p.Seed + 3, Jobs: n})
-		start := time.Now()
+		start := time.Now() //corralvet:ok wallclock Fig 5 measures the planner's real running time, not simulated time
 		if _, err := planner.New(planner.Input{Cluster: cm, Jobs: jobs, Alpha: -1}); err != nil {
 			return nil, err
 		}
-		secs := time.Since(start).Seconds()
+		secs := time.Since(start).Seconds() //corralvet:ok wallclock Fig 5 measures the planner's real running time, not simulated time
 		t.AddRow(fmt.Sprintf("%d", n), metrics.F(secs, 3))
 		r.set(fmt.Sprintf("planner_seconds_%djobs", n), secs)
 	}

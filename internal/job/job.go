@@ -2,6 +2,9 @@
 // by the paper's 5-tuple ⟨D^I, D^S, D^O, N^M, N^R⟩ (§4.3) and general
 // DAG-structured jobs (Hive/Tez style) whose every stage is itself modeled
 // as a MapReduce job, composed along the DAG's critical path.
+//
+// Determinism obligations: jobs are plain data; all derived quantities
+// (critical paths, totals) are pure functions of the job definition.
 package job
 
 import (

@@ -28,6 +28,10 @@
 //     rate R rack-seconds/sec on which job j requires w_j = min_r L_j(r)·r
 //     work. SRPT minimizes average completion in that relaxation, so its
 //     average is a lower bound for any rack-granular schedule.
+//
+// Determinism obligations: both bounds are pure functions of the jobs and
+// cluster — deterministic bisection to a fixed tolerance, no randomness,
+// no map iteration.
 package lp
 
 import (

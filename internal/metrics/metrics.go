@@ -1,6 +1,11 @@
 // Package metrics provides the summary statistics the evaluation reports:
 // percentiles/CDFs of completion times, percentage reductions relative to
 // a baseline, and coefficient of variation.
+//
+// Determinism obligations: every statistic is a pure function of its
+// input slice. Percentiles and CDFs sort a copy, but means and CoV sum in
+// input order — floating-point summation is order-sensitive in the low
+// bits, so callers must supply slices built in a deterministic order.
 package metrics
 
 import (

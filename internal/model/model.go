@@ -16,6 +16,10 @@
 // General DAGs are handled by modelling every stage as a MapReduce job and
 // summing along the DAG's critical path. §4.5's data-imbalance penalty
 // α·D^I/r is available via Response.
+//
+// Determinism obligations: every response function is a pure function of
+// the job tuple and cluster shape — closed-form arithmetic with no
+// randomness, time or iteration-order dependence.
 package model
 
 import (

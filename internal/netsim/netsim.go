@@ -9,6 +9,12 @@
 // the earliest-finishing flow. Flows between machines in the same rack use
 // only the two NICs (full bisection in-rack); cross-rack flows additionally
 // traverse the oversubscribed rack uplink and downlink.
+//
+// Determinism obligations: flow rates and completion times are a pure
+// function of the Start/stop call sequence — allocation policies iterate
+// flows and links in id order, and same-instant events rely on the
+// internal/des FIFO tie-break, so callers must start flows in a
+// deterministic order.
 package netsim
 
 import (
@@ -198,6 +204,7 @@ func (n *Network) Cancel(f *Flow) {
 // scheduleRecompute coalesces multiple same-instant flow-set changes into a
 // single rate recomputation.
 func (n *Network) scheduleRecompute() {
+	//corralvet:ok floateq exact identity intended: both sides are the same des.Time instant; near-equal instants are distinct events
 	if n.recomputeEv != nil && !n.recomputeEv.Canceled() && n.recomputeEv.At() == n.sim.Now() {
 		return
 	}

@@ -18,6 +18,10 @@
 //
 // Latency estimates come from the response functions of internal/model,
 // optionally with the §4.5 data-imbalance penalty.
+//
+// Determinism obligations: a plan is a pure function of the jobs and
+// cluster — sorts are total orders with id tie-breaks, and no randomness,
+// wall-clock time or map-iteration order feeds the result.
 package planner
 
 import (
@@ -329,6 +333,7 @@ func (s *scheduler) rebuildRackF(k int, finish float64) {
 	i, j := k, 0
 	for i < R && j < len(reassigned) {
 		a, b := s.rackF[i], reassigned[j]
+		//corralvet:ok floateq exact identity intended: the reassigned entries carry bit-identical finish values by construction, ties break by id
 		if a.f < b.f || (a.f == b.f && a.id < b.id) {
 			merged = append(merged, a)
 			i++

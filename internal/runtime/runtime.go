@@ -12,6 +12,12 @@
 //   - LocalShuffle: Corral's task placement but HDFS-random data placement.
 //   - ShuffleWatcher: per-job shuffle localisation to a rack subset chosen
 //     greedily per job (no cross-job planning, no data placement).
+//
+// Determinism obligations: a simulation Result is a pure function of
+// (SimConfig, jobs, seed). All randomness (data placement, failure and
+// straggler injection) draws from one seeded *rand.Rand, slot and task
+// scans go in index order, and order-sensitive work never ranges over a
+// map unsorted (see the collect-and-sort idiom in exec.go).
 package runtime
 
 import (

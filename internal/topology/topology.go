@@ -7,6 +7,10 @@
 // rack has an uplink and downlink to the core of capacity
 // machinesPerRack × NIC / oversubscription. Links are registered in a flat
 // table so the flow simulator can treat them uniformly.
+//
+// Determinism obligations: construction is a pure function of the cluster
+// shape; machine, rack and link ids are dense and assigned in a fixed
+// order, so id-ordered iteration downstream is reproducible.
 package topology
 
 import (

@@ -16,6 +16,10 @@
 // Byte sizes are scaled by Config.Scale so full experiments stay fast in
 // simulation; ratios (selectivity, skew, shuffle/input) are preserved,
 // which is what the reproduced trends depend on.
+//
+// Determinism obligations: each generator is a pure function of
+// (Config, Config.Seed) — all sampling draws from a *rand.Rand seeded
+// with Config.Seed, in a fixed job order, so a seed pins the workload.
 package workload
 
 import (

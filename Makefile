@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check build vet fmt-check test race corralvet
+.PHONY: check build vet fmt-check test race corralvet chaos
 
-check: build vet fmt-check test race corralvet
+check: build vet fmt-check test race corralvet chaos
 	@echo "check: all gates passed"
 
 build:
@@ -30,3 +30,9 @@ race:
 
 corralvet:
 	$(GO) run ./cmd/corralvet ./...
+
+# Chaos gate: two-seed determinism of the full fault-injection sweep plus
+# the graceful-degradation acceptance (replan <= drop <= yarn on the
+# bundled trace). -count=1 defeats the test cache so the sweep really runs.
+chaos:
+	$(GO) test ./internal/experiments -run 'TestChaos' -count=1 -v

@@ -15,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"corral"
 )
@@ -26,8 +28,35 @@ func main() {
 		seed   = flag.Int64("seed", 1, "random seed")
 		list   = flag.Bool("list", false, "list available experiments")
 		asJSON = flag.Bool("json", false, "emit key outcome values as JSON")
+		chaosI = flag.String("chaos-intensities", "",
+			"comma-separated fault intensities for the chaos sweep (implies -exp chaos)")
 	)
 	flag.Parse()
+
+	if *chaosI != "" {
+		sz, err := parseSize(*size)
+		if err != nil {
+			fatal(err)
+		}
+		intensities, err := parseFloats(*chaosI)
+		if err != nil {
+			fatal(err)
+		}
+		report, err := corral.RunChaosExperiment(sz, *seed, intensities)
+		if err != nil {
+			fatal(err)
+		}
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(map[string]map[string]float64{"chaos": report.Values}); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		fmt.Println(report)
+		return
+	}
 
 	if *list || *exp == "" {
 		fmt.Println("available experiments:")
@@ -83,6 +112,18 @@ func parseSize(s string) (corral.ExperimentSize, error) {
 		return corral.SizeLarge, nil
 	}
 	return 0, fmt.Errorf("unknown size %q (want s, m or l)", s)
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad intensity %q: %v", part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 func fatal(err error) {

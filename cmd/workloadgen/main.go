@@ -1,9 +1,12 @@
 // Command workloadgen emits one of the paper's workloads as JSON, for use
-// with corralplan or custom tooling.
+// with corralplan or custom tooling. It can also emit a seeded chaos fault
+// trace (transient machine failures + rack-uplink degradation windows) for
+// the default cluster shape.
 //
 // Usage:
 //
 //	workloadgen -workload w1 -jobs 50 -scale 0.1 -window 600 > jobs.json
+//	workloadgen -fault-trace -intensity 0.3 -horizon 600 > faults.json
 package main
 
 import (
@@ -23,8 +26,30 @@ func main() {
 		seed   = flag.Int64("seed", 1, "random seed")
 		window = flag.Float64("window", 0, "arrival window in seconds (0 = batch)")
 		dbGB   = flag.Float64("tpch-db-gb", 200, "TPC-H database size in GB")
+
+		trace     = flag.Bool("fault-trace", false, "emit a chaos fault trace instead of jobs")
+		intensity = flag.Float64("intensity", 0.3, "fault trace: expected failures per machine over the horizon")
+		horizon   = flag.Float64("horizon", 600, "fault trace: horizon in simulated seconds")
+		racks     = flag.Int("racks", 0, "fault trace: rack count (0 = default cluster)")
+		perRack   = flag.Int("machines-per-rack", 0, "fault trace: machines per rack (0 = default cluster)")
 	)
 	flag.Parse()
+
+	if *trace {
+		cluster := corral.DefaultCluster()
+		if *racks > 0 {
+			cluster.Racks = *racks
+		}
+		if *perRack > 0 {
+			cluster.MachinesPerRack = *perRack
+		}
+		failures, faults := corral.GenChaosTrace(cluster, *seed, *intensity, *horizon)
+		emit(struct {
+			Failures   []corral.Failure
+			LinkFaults []corral.LinkFault
+		}{failures, faults})
+		return
+	}
 
 	cfg := corral.WorkloadConfig{
 		Seed: *seed, Jobs: *jobs, Scale: *scale, ArrivalWindow: *window,
@@ -44,9 +69,13 @@ func main() {
 		os.Exit(1)
 	}
 
+	emit(out)
+}
+
+func emit(v any) {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(out); err != nil {
+	if err := enc.Encode(v); err != nil {
 		fmt.Fprintln(os.Stderr, "workloadgen:", err)
 		os.Exit(1)
 	}

@@ -145,8 +145,22 @@ type SimConfig struct {
 	// of its racks' machines are dead).
 	FailedMachines []int
 	// Failures kills machines at points in simulated time; their running
-	// tasks are re-executed elsewhere.
+	// tasks are re-executed elsewhere. A Failure with Downtime > 0 is
+	// transient: the machine recovers and rejoins the slot pool and DFS
+	// replica set.
 	Failures []Failure
+	// LinkFaults fail or scale rack uplinks at points in simulated time;
+	// in-flight flows re-share via the max-min recompute (flows crossing a
+	// fully failed link park until capacity is restored).
+	LinkFaults []LinkFault
+	// ReplanOnFailure re-invokes the offline planner when a fault breaks a
+	// planned job's rack set (rack-majority loss or uplink failure), with
+	// commitments for unaffected jobs — instead of only dropping the
+	// affected job's constraints.
+	ReplanOnFailure bool
+	// DisableReReplication turns off the DFS repair daemon that re-creates
+	// under-replicated blocks on surviving machines after a failure.
+	DisableReReplication bool
 	// StragglerFraction/StragglerSlowdown inject task outliers (§3.3);
 	// Speculation enables the speculative re-execution watchdog.
 	StragglerFraction float64
@@ -160,8 +174,13 @@ type SimConfig struct {
 	InMemoryInput bool
 }
 
-// Failure kills one machine at a point in simulated time.
+// Failure kills one machine at a point in simulated time; Downtime > 0
+// makes it transient.
 type Failure = runtime.Failure
+
+// LinkFault fails or rescales one rack's uplink/downlink pair at a point
+// in simulated time (Factor 0 = outage, 1 = full capacity).
+type LinkFault = runtime.LinkFault
 
 // Result is a simulation outcome.
 type Result = runtime.Result
@@ -173,18 +192,21 @@ type JobResult = runtime.JobResult
 // and aggregate metrics.
 func Simulate(cfg SimConfig, jobs []*Job) (*Result, error) {
 	return runtime.Run(runtime.Options{
-		Topology:           cfg.Cluster,
-		Scheduler:          cfg.Scheduler,
-		Plan:               cfg.Plan,
-		Network:            cfg.Network,
-		Seed:               cfg.Seed,
-		FailedMachines:     cfg.FailedMachines,
-		Failures:           cfg.Failures,
-		StragglerFraction:  cfg.StragglerFraction,
-		StragglerSlowdown:  cfg.StragglerSlowdown,
-		Speculation:        cfg.Speculation,
-		RemoteStorageInput: cfg.RemoteStorageInput,
-		InMemoryInput:      cfg.InMemoryInput,
+		Topology:             cfg.Cluster,
+		Scheduler:            cfg.Scheduler,
+		Plan:                 cfg.Plan,
+		Network:              cfg.Network,
+		Seed:                 cfg.Seed,
+		FailedMachines:       cfg.FailedMachines,
+		Failures:             cfg.Failures,
+		LinkFaults:           cfg.LinkFaults,
+		ReplanOnFailure:      cfg.ReplanOnFailure,
+		DisableReReplication: cfg.DisableReReplication,
+		StragglerFraction:    cfg.StragglerFraction,
+		StragglerSlowdown:    cfg.StragglerSlowdown,
+		Speculation:          cfg.Speculation,
+		RemoteStorageInput:   cfg.RemoteStorageInput,
+		InMemoryInput:        cfg.InMemoryInput,
 	}, jobs)
 }
 
@@ -291,6 +313,36 @@ func Experiments() []ExperimentInfo {
 type ExperimentInfo struct {
 	ID          string
 	Description string
+}
+
+// ChaosParams configures a chaos sweep; ChaosReport is its outcome.
+type (
+	ChaosParams = experiments.ChaosParams
+	ChaosReport = experiments.ChaosReport
+	ChaosRun    = experiments.ChaosRun
+)
+
+// GenChaosTrace builds a seeded fault trace — transient machine failures
+// plus rack-uplink degradation windows — for the given cluster. The trace
+// is a pure function of the arguments and never removes capacity
+// permanently: every uplink fault is paired with a restore, every machine
+// failure with a recovery.
+func GenChaosTrace(cluster ClusterConfig, seed int64, intensity, horizon float64) ([]Failure, []LinkFault) {
+	return experiments.GenChaosTrace(cluster, seed, intensity, horizon)
+}
+
+// RunChaos replays seeded fault traces of increasing intensity against
+// the online W1 workload under Yarn-CS, constraint-drop-only Corral, and
+// Corral with failure-triggered replanning.
+func RunChaos(p ChaosParams) (*ChaosReport, error) { return experiments.RunChaos(p) }
+
+// RunChaosExperiment renders a chaos sweep as an ExperimentReport; nil or
+// empty intensities select the bundled default sweep.
+func RunChaosExperiment(size ExperimentSize, seed int64, intensities []float64) (*ExperimentReport, error) {
+	if len(intensities) == 0 {
+		intensities = experiments.DefaultChaosIntensities
+	}
+	return experiments.ChaosWithIntensities(experiments.Params{Size: size, Seed: seed}, intensities)
 }
 
 // UnknownExperimentError reports an unrecognized experiment ID.

@@ -54,6 +54,7 @@ type View struct {
 	Cluster      *topology.Cluster
 	machineBytes []float64
 	rackBytes    []float64
+	alive        []bool
 }
 
 // MachineBytes returns bytes currently stored on machine m.
@@ -62,11 +63,28 @@ func (v *View) MachineBytes(m int) float64 { return v.machineBytes[m] }
 // RackBytes returns bytes currently stored on rack r.
 func (v *View) RackBytes(r int) float64 { return v.rackBytes[r] }
 
-// LeastLoadedMachineInRack returns the machine in rack r with the fewest
-// stored bytes, excluding machines in the exclude set (pass nil for none).
+// Alive reports whether machine m is up (see Store.MachineDown/MachineUp).
+func (v *View) Alive(m int) bool { return v.alive[m] }
+
+// LeastLoadedMachineInRack returns the live machine in rack r with the
+// fewest stored bytes, excluding machines in the exclude set (pass nil for
+// none). If every live machine is excluded — or the whole rack is dead —
+// it falls back to load order over dead machines so placement at upload
+// time never dangles; repair planning re-checks liveness itself.
 func (v *View) LeastLoadedMachineInRack(r int, exclude map[int]bool) int {
 	lo, hi := v.Cluster.MachinesInRack(r)
 	best, bestBytes := -1, math.Inf(1)
+	for m := lo; m < hi; m++ {
+		if exclude[m] || !v.alive[m] {
+			continue
+		}
+		if v.machineBytes[m] < bestBytes {
+			best, bestBytes = m, v.machineBytes[m]
+		}
+	}
+	if best >= 0 {
+		return best
+	}
 	for m := lo; m < hi; m++ {
 		if exclude[m] {
 			continue
@@ -101,6 +119,11 @@ type Store struct {
 	rng       *rand.Rand
 	files     map[string]*File
 	view      View
+
+	// blocksOn indexes, per machine, the blocks that (may) hold a replica
+	// there. Entries are appended at create/repair time and lazily dropped
+	// by BlocksOn once a repair moves the replica away.
+	blocksOn [][]*Block
 }
 
 // New creates an empty store. blockSize <= 0 selects DefaultBlockSize.
@@ -115,13 +138,31 @@ func New(cluster *topology.Cluster, blockSize float64, rng *rand.Rand) *Store {
 		rng:       rng,
 		files:     make(map[string]*File),
 	}
+	m := cluster.Config.Machines()
 	s.view = View{
 		Cluster:      cluster,
-		machineBytes: make([]float64, cluster.Config.Machines()),
+		machineBytes: make([]float64, m),
 		rackBytes:    make([]float64, cluster.Config.Racks),
+		alive:        make([]bool, m),
 	}
+	for i := range s.view.alive {
+		s.view.alive[i] = true
+	}
+	s.blocksOn = make([][]*Block, m)
 	return s
 }
+
+// MachineDown marks machine m dead: placement and repair target selection
+// skip it, and its replicas count as lost until MachineUp.
+func (s *Store) MachineDown(m int) { s.view.alive[m] = false }
+
+// MachineUp marks machine m live again. Replicas still recorded on m (not
+// yet repaired away) become readable again — the model treats a recovered
+// machine's disk as intact.
+func (s *Store) MachineUp(m int) { s.view.alive[m] = true }
+
+// Alive reports whether machine m is up.
+func (s *Store) Alive(m int) bool { return s.view.alive[m] }
 
 // BlockSize returns the store's chunk size in bytes.
 func (s *Store) BlockSize() float64 { return s.blockSize }
@@ -156,6 +197,13 @@ func (s *Store) Create(name string, size float64, policy Placement) (*File, erro
 			s.view.rackBytes[s.cluster.RackOf(m)] += b.Size
 		}
 		f.Blocks = append(f.Blocks, b)
+	}
+	// Index replicas only after the append loop: &f.Blocks[i] is stable
+	// from here on (callers and the repair daemon hold these pointers).
+	for i := range f.Blocks {
+		for _, m := range f.Blocks[i].Replicas {
+			s.blocksOn[m] = append(s.blocksOn[m], &f.Blocks[i])
+		}
 	}
 	s.files[name] = f
 	return f, nil
@@ -212,4 +260,179 @@ func (s *Store) TotalBytes() float64 {
 		t += b
 	}
 	return t
+}
+
+// --- re-replication ---------------------------------------------------------
+
+// Repair is one planned re-replication copy: read the block from Src and
+// re-create the replica in slot Slot (currently recorded on a dead machine)
+// on Dst. The caller transfers Block.Size bytes over the network and then
+// calls CommitRepair.
+type Repair struct {
+	Block *Block
+	Slot  int // index into Block.Replicas being replaced
+	Src   int // live machine to copy from
+	Dst   int // live machine to copy to
+}
+
+// BlocksOn returns the distinct blocks holding a replica on machine m, in
+// creation/repair order. Stale index entries (replicas since repaired away)
+// are dropped as a side effect.
+func (s *Store) BlocksOn(m int) []*Block {
+	kept := s.blocksOn[m][:0]
+	var out []*Block
+	seen := make(map[*Block]bool)
+	for _, b := range s.blocksOn[m] {
+		holds := false
+		for _, r := range b.Replicas {
+			if r == m {
+				holds = true
+				break
+			}
+		}
+		if !holds {
+			continue
+		}
+		kept = append(kept, b)
+		if !seen[b] {
+			seen[b] = true
+			out = append(out, b)
+		}
+	}
+	s.blocksOn[m] = kept
+	return out
+}
+
+// PlanRepairs plans re-replication for b's replicas that sit on dead
+// machines. busy, if non-nil, reports slots with an in-flight repair and
+// the destination it targets, so double-repair is avoided and in-flight
+// destinations count toward the rack spread. Targets restore the 2+1
+// arrangement: while the surviving replicas sit on a single rack, the copy
+// goes to the least-loaded other rack; otherwise it goes to the surviving
+// rack holding the fewest replicas (ties toward the lower rack index).
+// Slots with no live replica to copy from are skipped — the block is
+// unreadable until a holder recovers.
+func (s *Store) PlanRepairs(b *Block, busy func(slot int) (dst int, ok bool)) []Repair {
+	var holders []int // live holders plus in-flight repair destinations
+	for slot, m := range b.Replicas {
+		if s.view.alive[m] {
+			holders = append(holders, m)
+		} else if busy != nil {
+			if dst, ok := busy(slot); ok {
+				holders = append(holders, dst)
+			}
+		}
+	}
+	if len(holders) == 0 {
+		return nil
+	}
+	src := holders[0]
+	var out []Repair
+	for slot, m := range b.Replicas {
+		if s.view.alive[m] {
+			continue
+		}
+		if busy != nil {
+			if _, ok := busy(slot); ok {
+				continue
+			}
+		}
+		dst := s.repairTarget(holders)
+		if dst < 0 {
+			continue
+		}
+		out = append(out, Repair{Block: b, Slot: slot, Src: src, Dst: dst})
+		holders = append(holders, dst)
+	}
+	return out
+}
+
+// repairTarget picks the machine for one re-created replica given the
+// block's current holders (live replicas and in-flight destinations).
+func (s *Store) repairTarget(holders []int) int {
+	racks := s.cluster.Config.Racks
+	cnt := make([]int, racks)
+	exclude := make(map[int]bool, len(holders))
+	for _, m := range holders {
+		cnt[s.cluster.RackOf(m)]++
+		exclude[m] = true
+	}
+	holderRacks, firstRack := 0, -1
+	for r := 0; r < racks; r++ {
+		if cnt[r] > 0 {
+			holderRacks++
+			if firstRack < 0 {
+				firstRack = r
+			}
+		}
+	}
+	target := -1
+	if holderRacks == 1 && racks > 1 {
+		// All holders on one rack: re-establish the cross-rack copy on the
+		// least-loaded live rack elsewhere.
+		target = s.leastLoadedLiveRack(firstRack, exclude)
+	}
+	if target < 0 {
+		// Spread already spans racks (or no other rack is usable): add to
+		// the holder rack with the fewest replicas, lower index on ties.
+		for r := 0; r < racks; r++ {
+			if cnt[r] == 0 || !s.rackUsable(r, exclude) {
+				continue
+			}
+			if target < 0 || cnt[r] < cnt[target] {
+				target = r
+			}
+		}
+	}
+	if target < 0 {
+		// Holder racks are full of holders/dead machines: any usable rack.
+		target = s.leastLoadedLiveRack(-1, exclude)
+	}
+	if target < 0 {
+		return -1
+	}
+	m := s.view.LeastLoadedMachineInRack(target, exclude)
+	if m < 0 || !s.view.alive[m] {
+		return -1
+	}
+	return m
+}
+
+// rackUsable reports whether rack r has a live machine outside exclude.
+func (s *Store) rackUsable(r int, exclude map[int]bool) bool {
+	lo, hi := s.cluster.MachinesInRack(r)
+	for m := lo; m < hi; m++ {
+		if s.view.alive[m] && !exclude[m] {
+			return true
+		}
+	}
+	return false
+}
+
+// leastLoadedLiveRack returns the rack (≠ skip) with the fewest stored
+// bytes among racks holding a live non-excluded machine, or -1.
+func (s *Store) leastLoadedLiveRack(skip int, exclude map[int]bool) int {
+	best, bestBytes := -1, math.Inf(1)
+	for r := 0; r < s.cluster.Config.Racks; r++ {
+		if r == skip || !s.rackUsable(r, exclude) {
+			continue
+		}
+		if s.view.rackBytes[r] < bestBytes {
+			best, bestBytes = r, s.view.rackBytes[r]
+		}
+	}
+	return best
+}
+
+// CommitRepair installs a finished repair: the slot's replica moves from
+// the dead holder to Dst, with load accounting following the bytes.
+func (s *Store) CommitRepair(r Repair) {
+	old := r.Block.Replicas[r.Slot]
+	sz := r.Block.Size
+	s.view.machineBytes[old] -= sz
+	s.view.rackBytes[s.cluster.RackOf(old)] -= sz
+	r.Block.Replicas[r.Slot] = r.Dst
+	s.view.machineBytes[r.Dst] += sz
+	s.view.rackBytes[s.cluster.RackOf(r.Dst)] += sz
+	s.blocksOn[r.Dst] = append(s.blocksOn[r.Dst], r.Block)
 }

@@ -1,0 +1,170 @@
+package dfs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"corral/internal/topology"
+)
+
+// smallStore: 3 racks x 3 machines for exact repair scenarios.
+func smallStore() *Store {
+	c := topology.MustNew(topology.Config{
+		Racks:            3,
+		MachinesPerRack:  3,
+		SlotsPerMachine:  2,
+		NICBandwidth:     10 * gbps,
+		Oversubscription: 5,
+	})
+	return New(c, 0, rand.New(rand.NewSource(1)))
+}
+
+func rackSpread(s *Store, b *Block) map[int]int {
+	spread := make(map[int]int)
+	for _, m := range b.Replicas {
+		spread[s.cluster.RackOf(m)]++
+	}
+	return spread
+}
+
+func TestPlanRepairsRestoresCrossRackCopy(t *testing.T) {
+	s := smallStore()
+	// 2 replicas on rack 0 (machines 0,1), 1 on rack 1 (machine 3).
+	f, err := s.Create("f", 100, FixedPlacement{Machines: []int{0, 1, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &f.Blocks[0]
+
+	// Kill the lone cross-rack holder: survivors all on rack 0, so the
+	// repair must target a different rack.
+	s.MachineDown(3)
+	reps := s.PlanRepairs(b, nil)
+	if len(reps) != 1 {
+		t.Fatalf("planned %d repairs, want 1", len(reps))
+	}
+	r := reps[0]
+	if r.Slot != 2 || r.Block != b {
+		t.Fatalf("repair targets slot %d of %p, want slot 2 of %p", r.Slot, r.Block, b)
+	}
+	if !s.Alive(r.Src) || !s.Alive(r.Dst) {
+		t.Fatalf("repair uses dead machines: src %d dst %d", r.Src, r.Dst)
+	}
+	if got := s.cluster.RackOf(r.Dst); got == 0 {
+		t.Fatalf("repair destination rack = %d, want a rack other than 0", got)
+	}
+	s.CommitRepair(r)
+	spread := rackSpread(s, b)
+	if len(spread) != 2 || spread[0] != 2 {
+		t.Fatalf("post-repair spread = %v, want 2 on rack 0 + 1 elsewhere", spread)
+	}
+}
+
+func TestPlanRepairsKeepsSpreadWhenMinorityRackDies(t *testing.T) {
+	s := smallStore()
+	f, err := s.Create("f", 100, FixedPlacement{Machines: []int{0, 1, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &f.Blocks[0]
+	// Kill one of the two rack-0 holders: survivors span racks 0 and 1,
+	// so the new copy joins the rack with fewer replicas... both have one;
+	// lower rack index (0) wins, restoring the 2+1 split.
+	s.MachineDown(0)
+	reps := s.PlanRepairs(b, nil)
+	if len(reps) != 1 {
+		t.Fatalf("planned %d repairs, want 1", len(reps))
+	}
+	s.CommitRepair(reps[0])
+	spread := rackSpread(s, b)
+	if len(spread) != 2 {
+		t.Fatalf("post-repair spread = %v, want exactly 2 racks", spread)
+	}
+	for _, m := range b.Replicas {
+		if !s.Alive(m) {
+			t.Fatalf("replica still on dead machine %d: %v", m, b.Replicas)
+		}
+	}
+}
+
+func TestPlanRepairsSkipsUnreadableAndBusySlots(t *testing.T) {
+	s := smallStore()
+	f, err := s.Create("f", 100, FixedPlacement{Machines: []int{0, 1, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &f.Blocks[0]
+	// All holders dead: nothing to copy from.
+	s.MachineDown(0)
+	s.MachineDown(1)
+	s.MachineDown(3)
+	if reps := s.PlanRepairs(b, nil); len(reps) != 0 {
+		t.Fatalf("planned %d repairs for an unreadable block, want 0", len(reps))
+	}
+	// One holder back: two repairs needed, but slot 1 already in flight.
+	s.MachineUp(0)
+	busy := func(slot int) (int, bool) {
+		if slot == 1 {
+			return 6, true // in-flight repair headed to rack 2
+		}
+		return 0, false
+	}
+	reps := s.PlanRepairs(b, busy)
+	if len(reps) != 1 {
+		t.Fatalf("planned %d repairs with one slot busy, want 1", len(reps))
+	}
+	if reps[0].Slot != 2 {
+		t.Fatalf("repair slot = %d, want 2 (slot 1 is busy)", reps[0].Slot)
+	}
+	if reps[0].Dst == 6 {
+		t.Fatal("repair destination collides with the in-flight repair's target")
+	}
+}
+
+func TestBlocksOnFollowsRepairs(t *testing.T) {
+	s := smallStore()
+	f, err := s.Create("f", 100, FixedPlacement{Machines: []int{0, 1, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &f.Blocks[0]
+	if got := s.BlocksOn(3); len(got) != 1 || got[0] != b {
+		t.Fatalf("BlocksOn(3) = %v, want [block]", got)
+	}
+	s.MachineDown(3)
+	reps := s.PlanRepairs(b, nil)
+	if len(reps) != 1 {
+		t.Fatalf("planned %d repairs, want 1", len(reps))
+	}
+	before := s.TotalBytes()
+	s.CommitRepair(reps[0])
+	if got := s.TotalBytes(); math.Abs(got-before) > 1e-6 {
+		t.Fatalf("TotalBytes changed across repair: %g -> %g", before, got)
+	}
+	if got := s.BlocksOn(3); len(got) != 0 {
+		t.Fatalf("BlocksOn(3) after repair = %v, want empty", got)
+	}
+	if got := s.BlocksOn(reps[0].Dst); len(got) != 1 || got[0] != b {
+		t.Fatalf("BlocksOn(dst=%d) = %v, want [block]", reps[0].Dst, got)
+	}
+	if s.View().MachineBytes(3) != 0 {
+		t.Fatalf("machine 3 still accounts %g bytes after repair", s.View().MachineBytes(3))
+	}
+}
+
+func TestLeastLoadedMachineInRackSkipsDead(t *testing.T) {
+	s := smallStore()
+	s.MachineDown(0) // machine 0 is the emptiest in rack 0 but dead
+	got := s.View().LeastLoadedMachineInRack(0, nil)
+	if got == 0 {
+		t.Fatal("least-loaded pick returned a dead machine with live ones available")
+	}
+	// Whole rack dead: fallback still returns a machine (upload-time
+	// placement must not dangle).
+	s.MachineDown(1)
+	s.MachineDown(2)
+	if got := s.View().LeastLoadedMachineInRack(0, nil); got < 0 || got > 2 {
+		t.Fatalf("fallback pick = %d, want a machine in rack 0", got)
+	}
+}

@@ -1,0 +1,185 @@
+package experiments
+
+// Chaos: seeded full-stack fault injection. A fault trace (transient
+// machine failures plus rack-uplink degradation windows) is generated from
+// (topology, seed, intensity, horizon) and replayed against the same W1
+// batch under three configurations — the Yarn-CS baseline, Corral with the
+// paper's constraint-drop fallback only, and Corral with failure-triggered
+// replanning — to measure how gracefully each degrades as fault intensity
+// grows. Everything is a pure function of the parameters: traces come from
+// one seeded rng walked in index order, and the runs themselves are
+// deterministic, so identical ChaosParams reproduce identical ChaosReports
+// bit for bit (TestChaosDeterminism).
+
+import (
+	"fmt"
+	"math/rand"
+
+	"corral/internal/metrics"
+	"corral/internal/planner"
+	"corral/internal/runtime"
+	"corral/internal/topology"
+	"corral/internal/workload"
+)
+
+// chaosFactors are the uplink degradation levels a window can apply: full
+// outage, or capacity cut to a quarter or half. Every window is closed by
+// a factor-1 restore, so no fault is permanent and no job can wedge.
+var chaosFactors = [...]float64{0, 0.25, 0.5}
+
+// GenChaosTrace builds a fault trace for the given topology. intensity is
+// the expected number of failures per machine over the horizon (so 0.3
+// means roughly 30% of machines fail once); rack uplinks each suffer one
+// degradation window with probability min(1, intensity). Machine downtimes
+// and degradation windows are bounded fractions of the horizon, and every
+// uplink fault is paired with a restore — traces never permanently remove
+// capacity. The trace is a pure function of the arguments.
+func GenChaosTrace(topo topology.Config, seed int64, intensity, horizon float64) ([]runtime.Failure, []runtime.LinkFault) {
+	if intensity <= 0 || horizon <= 0 {
+		return nil, nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	mttf := horizon / intensity
+	mttr := 0.15 * horizon
+
+	var failures []runtime.Failure
+	for m := 0; m < topo.Machines(); m++ {
+		t := rng.ExpFloat64() * mttf
+		for t < horizon {
+			down := mttr * (0.5 + rng.Float64())
+			failures = append(failures, runtime.Failure{At: t, Machine: m, Downtime: down})
+			t += down + rng.ExpFloat64()*mttf
+		}
+	}
+
+	var faults []runtime.LinkFault
+	for r := 0; r < topo.Racks; r++ {
+		if rng.Float64() >= intensity {
+			continue
+		}
+		start := rng.Float64() * 0.8 * horizon
+		dur := 0.1 * horizon * (0.5 + rng.Float64())
+		factor := chaosFactors[rng.Intn(len(chaosFactors))]
+		faults = append(faults,
+			runtime.LinkFault{At: start, Rack: r, Factor: factor},
+			runtime.LinkFault{At: start + dur, Rack: r, Factor: 1})
+	}
+	return failures, faults
+}
+
+// ChaosParams configures a chaos sweep.
+type ChaosParams struct {
+	Size        Size
+	Seed        int64
+	Intensities []float64
+}
+
+// ChaosRun is one intensity level's outcome under the three schedulers.
+type ChaosRun struct {
+	Intensity    float64
+	Yarn         *runtime.Result
+	CorralDrop   *runtime.Result // Corral, constraint-drop fallback only
+	CorralReplan *runtime.Result // Corral with failure-triggered replanning
+}
+
+// ChaosReport is the full sweep outcome.
+type ChaosReport struct {
+	Horizon float64 // clean Corral makespan; fault traces span it
+	Clean   *runtime.Result
+	Runs    []ChaosRun
+}
+
+// RunChaos runs the online W1 workload under each fault intensity and
+// scheduler configuration. The online regime (arrivals spread over the
+// run, planned for average completion) is where the paper's completion-
+// time wins live (Fig 8/9) — and the realistic setting for chaos: faults
+// hit an operating cluster, not a one-shot batch. The fault horizon is
+// the clean Corral makespan, so traces stress the whole nominal run.
+func RunChaos(p ChaosParams) (*ChaosReport, error) {
+	prof := profileFor(p.Size)
+	topo := prof.topo
+	jobs, err := genOnlineWorkload("W1", prof, p.Seed)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := planJobs(topo, jobs, planner.MinimizeAvgCompletion)
+	if err != nil {
+		return nil, err
+	}
+	clean, err := runtime.Run(runtime.Options{
+		Topology: topo, Scheduler: runtime.Corral, Plan: plan, Seed: p.Seed,
+	}, workload.Clone(jobs))
+	if err != nil {
+		return nil, err
+	}
+	rep := &ChaosReport{Horizon: clean.Makespan, Clean: clean}
+	for _, intensity := range p.Intensities {
+		failures, faults := GenChaosTrace(topo, p.Seed, intensity, rep.Horizon)
+		run := ChaosRun{Intensity: intensity}
+		type cfg struct {
+			out    **runtime.Result
+			kind   runtime.Kind
+			plan   *planner.Plan
+			replan bool
+		}
+		for _, c := range []cfg{
+			{&run.Yarn, runtime.YarnCS, nil, false},
+			{&run.CorralDrop, runtime.Corral, plan, false},
+			{&run.CorralReplan, runtime.Corral, plan, true},
+		} {
+			res, err := runtime.Run(runtime.Options{
+				Topology: topo, Scheduler: c.kind, Plan: c.plan, Seed: p.Seed,
+				Failures: failures, LinkFaults: faults, ReplanOnFailure: c.replan,
+			}, workload.Clone(jobs))
+			if err != nil {
+				return nil, err
+			}
+			*c.out = res
+		}
+		rep.Runs = append(rep.Runs, run)
+	}
+	return rep, nil
+}
+
+// DefaultChaosIntensities is the bundled sweep: mild to severe.
+var DefaultChaosIntensities = []float64{0.1, 0.3, 0.5}
+
+func avgCompletion(res *runtime.Result) float64 {
+	return res.AvgCompletionTime()
+}
+
+// Chaos is the registry entry: the default sweep rendered as a table of
+// average job completion times and slowdowns relative to the clean run.
+func Chaos(p Params) (*Report, error) {
+	return ChaosWithIntensities(p, DefaultChaosIntensities)
+}
+
+// ChaosWithIntensities runs the chaos sweep at caller-chosen intensities
+// (the corralsim -chaos-intensities flag).
+func ChaosWithIntensities(p Params, intensities []float64) (*Report, error) {
+	r := newReport("Chaos: graceful degradation under machine and uplink faults")
+	rep, err := RunChaos(ChaosParams{Size: p.Size, Seed: p.Seed, Intensities: intensities})
+	if err != nil {
+		return nil, err
+	}
+	cleanAvg := avgCompletion(rep.Clean)
+	t := &metrics.Table{
+		Title: fmt.Sprintf("online W1, fault horizon %.1fs; avg completion (s) and slowdown vs clean Corral",
+			rep.Horizon),
+		Columns: []string{"intensity", "yarn-cs", "corral (drop)", "corral (replan)", "replan slowdown"},
+	}
+	r.set("clean_avg_completion", cleanAvg)
+	for _, run := range rep.Runs {
+		y, d, pl := avgCompletion(run.Yarn), avgCompletion(run.CorralDrop), avgCompletion(run.CorralReplan)
+		t.AddRow(metrics.F(run.Intensity, 2), metrics.F(y, 1), metrics.F(d, 1), metrics.F(pl, 1),
+			metrics.F(metrics.Slowdown(cleanAvg, pl), 2))
+		key := func(s string) string { return fmt.Sprintf("%s_i%02.0f", s, run.Intensity*100) }
+		r.set(key("avg_yarn"), y)
+		r.set(key("avg_corral_drop"), d)
+		r.set(key("avg_corral_replan"), pl)
+		r.set(key("replans"), float64(run.CorralReplan.Replans))
+		r.set(key("repair_bytes"), run.CorralReplan.RepairBytes)
+	}
+	r.table(t)
+	return r, nil
+}

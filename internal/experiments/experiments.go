@@ -140,6 +140,7 @@ func Registry() []struct {
 		{"ext-speculation", "extension: stragglers + speculative execution (§3.3)", ExtSpeculation},
 		{"ext-replan", "extension: periodic replanning for late jobs (§3.1)", ExtReplan},
 		{"ext-shared-data", "extension: shared datasets / data-job dependencies (§7)", ExtSharedData},
+		{"chaos", "chaos: graceful degradation under machine + uplink fault traces", Chaos},
 	}
 }
 

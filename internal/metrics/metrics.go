@@ -60,6 +60,16 @@ func Reduction(base, value float64) float64 {
 	return 100 * (base - value) / base
 }
 
+// Slowdown returns the multiplicative slowdown of faulty relative to clean:
+// faulty/clean. 1 means unaffected, 2 means twice as slow; 1 for a zero
+// clean baseline.
+func Slowdown(clean, faulty float64) float64 {
+	if clean == 0 {
+		return 1
+	}
+	return faulty / clean
+}
+
 // CoV returns the coefficient of variation (σ/μ), 0 for empty or zero-mean
 // input.
 func CoV(values []float64) float64 {

@@ -53,6 +53,18 @@ func TestReduction(t *testing.T) {
 	}
 }
 
+func TestSlowdown(t *testing.T) {
+	if got := Slowdown(10, 25); got != 2.5 {
+		t.Fatalf("Slowdown = %g, want 2.5", got)
+	}
+	if got := Slowdown(10, 10); got != 1 {
+		t.Fatalf("Slowdown = %g, want 1", got)
+	}
+	if got := Slowdown(0, 5); got != 1 {
+		t.Fatalf("Slowdown with zero clean = %g, want 1", got)
+	}
+}
+
 func TestCoV(t *testing.T) {
 	if got := CoV([]float64{5, 5, 5}); got != 0 {
 		t.Fatalf("uniform CoV = %g", got)

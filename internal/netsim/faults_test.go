@@ -1,0 +1,76 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"corral/internal/des"
+)
+
+// A cross-rack flow re-shares when its rack uplink is degraded mid-flight.
+func TestLinkDegradationReshares(t *testing.T) {
+	sim, n := newNet(t, MaxMinFair{})
+	c := testCluster(t)
+	var doneAt des.Time
+	// 8 Gb over the 8 Gbps uplink: would finish at 1s undisturbed.
+	n.Start(0, 4, 8*gbps, 0, 1, func(*Flow) { doneAt = sim.Now() })
+	// At 0.5s the uplink drops to half capacity: 4 Gb remain at 4 Gbps,
+	// so the flow needs one more second -> finishes at 1.5s.
+	sim.At(0.5, func() { n.SetLinkCapacityFactor(c.RackUplink(0), 0.5) })
+	sim.Run()
+	if math.Abs(float64(doneAt)-1.5) > 1e-6 {
+		t.Fatalf("flow over half-degraded uplink finished at %v, want 1.5s", doneAt)
+	}
+	if got := n.LinkCapacity(c.RackUplink(0)); math.Abs(got-4*gbps) > 1 {
+		t.Fatalf("LinkCapacity after degradation = %g, want %g", got, 4*gbps)
+	}
+}
+
+// A failed uplink parks in-flight flows (no starvation panic); restoring it
+// resumes them and they complete.
+func TestLinkFailureParksAndResumes(t *testing.T) {
+	sim, n := newNet(t, MaxMinFair{})
+	c := testCluster(t)
+	var doneAt des.Time
+	n.Start(0, 4, 8*gbps, 0, 1, func(*Flow) { doneAt = sim.Now() })
+	// Fail at 0.25s (2 Gb sent), restore at 1.25s: the remaining 6 Gb
+	// take 0.75s at full rate -> finishes at 2.0s.
+	sim.At(0.25, func() { n.SetLinkCapacityFactor(c.RackUplink(0), 0) })
+	sim.At(1.25, func() { n.SetLinkCapacityFactor(c.RackUplink(0), 1) })
+	sim.Run()
+	if math.Abs(float64(doneAt)-2.0) > 1e-6 {
+		t.Fatalf("flow across fail/restore finished at %v, want 2.0s", doneAt)
+	}
+}
+
+// With one flow parked on a failed link, unaffected flows keep completing.
+func TestLinkFailureDoesNotBlockOtherFlows(t *testing.T) {
+	sim, n := newNet(t, MaxMinFair{})
+	c := testCluster(t)
+	var parkedDone, otherDone des.Time
+	n.Start(0, 4, 8*gbps, 0, 1, func(*Flow) { parkedDone = sim.Now() })
+	n.Start(5, 6, 10*gbps, 0, 2, func(*Flow) { otherDone = sim.Now() })
+	sim.At(0, func() { n.SetLinkCapacityFactor(c.RackUplink(0), 0) })
+	sim.At(3, func() { n.SetLinkCapacityFactor(c.RackUplink(0), 1) })
+	sim.Run()
+	if math.Abs(float64(otherDone)-1.0) > 1e-6 {
+		t.Fatalf("intra-rack flow finished at %v, want 1.0s despite remote fault", otherDone)
+	}
+	if math.Abs(float64(parkedDone)-4.0) > 1e-6 {
+		t.Fatalf("parked flow finished at %v, want 4.0s (3s outage + 1s transfer)", parkedDone)
+	}
+}
+
+// Failing a link under the Varys policy parks the affected coflow too.
+func TestLinkFailureVarys(t *testing.T) {
+	sim, n := newNet(t, Varys{})
+	c := testCluster(t)
+	var doneAt des.Time
+	n.Start(0, 4, 8*gbps, 7, 1, func(*Flow) { doneAt = sim.Now() })
+	sim.At(0.5, func() { n.SetLinkCapacityFactor(c.RackUplink(0), 0) })
+	sim.At(1.5, func() { n.SetLinkCapacityFactor(c.RackUplink(0), 1) })
+	sim.Run()
+	if doneAt <= 1.5 {
+		t.Fatalf("coflow finished at %v, before its failed uplink recovered", doneAt)
+	}
+}

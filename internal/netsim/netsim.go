@@ -73,10 +73,11 @@ type Network struct {
 	cluster *topology.Cluster
 	policy  Policy
 
-	flows   []*Flow
-	nextID  int64
-	caps    []float64
-	scratch []float64
+	flows    []*Flow
+	nextID   int64
+	caps     []float64 // current capacity: baseCaps scaled by link faults
+	baseCaps []float64 // capacities as registered by the topology
+	scratch  []float64
 
 	lastAdvance  des.Time
 	completionEv *des.Event
@@ -102,11 +103,14 @@ func New(sim *des.Simulator, cluster *topology.Cluster, policy Policy) *Network 
 	for i, l := range links {
 		caps[i] = l.Capacity
 	}
+	base := make([]float64, len(caps))
+	copy(base, caps)
 	return &Network{
 		sim:          sim,
 		cluster:      cluster,
 		policy:       policy,
 		caps:         caps,
+		baseCaps:     base,
 		scratch:      make([]float64, len(links)),
 		LoopbackRate: 1e12, // ~instantaneous local copy
 		crossByJob:   make(map[int]float64),
@@ -200,6 +204,23 @@ func (n *Network) Cancel(f *Flow) {
 		n.scheduleRecompute()
 	}
 }
+
+// SetLinkCapacityFactor scales link id's capacity to factor times the
+// capacity registered by the topology (link faults, §7 "Dealing with
+// failures"). Factor 1 restores the link; factor 0 fails it outright —
+// flows crossing a failed link park at rate zero and resume when a later
+// call raises the factor. In-flight flows re-share at the next
+// recomputation, which this call schedules.
+func (n *Network) SetLinkCapacityFactor(id topology.LinkID, factor float64) {
+	if factor < 0 {
+		panic(fmt.Sprintf("netsim: negative link capacity factor %g", factor))
+	}
+	n.caps[id] = n.baseCaps[id] * factor
+	n.scheduleRecompute()
+}
+
+// LinkCapacity returns link id's current (possibly fault-scaled) capacity.
+func (n *Network) LinkCapacity(id topology.LinkID) float64 { return n.caps[id] }
 
 // scheduleRecompute coalesces multiple same-instant flow-set changes into a
 // single rate recomputation.
@@ -309,9 +330,25 @@ func (n *Network) recompute() {
 	}
 	if math.IsInf(next, 1) {
 		// All flows starved; nothing will complete until the flow set
-		// changes again. This can only happen if some link has zero
-		// capacity, which Validate prevents — treat as a bug.
-		panic("netsim: all active flows starved with no pending change")
+		// changes again. Legitimate only when a failed link (capacity
+		// forced to zero by SetLinkCapacityFactor) is parking every flow:
+		// those resume when the link recovers, which schedules another
+		// recompute. A starved flow whose links all have capacity is a
+		// modelling bug — the allocation policies guarantee a positive
+		// rate otherwise.
+		for _, f := range n.flows {
+			parked := false
+			for _, l := range f.path {
+				if n.caps[l] <= 0 {
+					parked = true
+					break
+				}
+			}
+			if !parked {
+				panic("netsim: active flow starved with no pending change")
+			}
+		}
+		return
 	}
 	n.completionEv = n.sim.After(des.Time(next), n.recompute)
 }

@@ -35,6 +35,9 @@ type jobExec struct {
 	reduceSeconds []float64
 	racksTouched  map[int]bool
 	stagesLeft    int
+	// tasksLaunched counts attempts ever started — replanning treats jobs
+	// with zero launches as freely re-assignable.
+	tasksLaunched int
 }
 
 // planPriority orders planned jobs; ad-hoc and unplanned jobs sort last.
@@ -97,6 +100,10 @@ type stageExec struct {
 	reducesDone    int
 	reduceMachines []int // where completed tasks ran (for downstream input)
 	coflow         netsim.CoflowID
+	// speculatedReduces counts reduce attempts killed by the speculation
+	// watchdog; the next pendingReduces launches consume one each and run
+	// as the nominal-speed backup copy (reduce attempts are fungible).
+	speculatedReduces int
 }
 
 // mapTask is one pending map with its locality preference.
@@ -106,6 +113,9 @@ type mapTask struct {
 	blk        *dfs.Block // input block for source stages, nil otherwise
 	srcMachine int        // upstream machine for derived stages, -1 if none
 	assigned   bool
+	// speculated marks a task whose attempt was killed by the speculation
+	// watchdog: the relaunch runs at nominal speed with no watchdog.
+	speculated bool
 }
 
 // nodeLocal reports whether machine m holds the task's input.
@@ -242,7 +252,9 @@ func (rt *runtime) startStage(st *stageExec) {
 }
 
 // replicaClosest returns the cheapest live source for the task's input as
-// read from machine m.
+// read from machine m: node-local, then rack-local, then a remote replica
+// whose rack uplink is not failed, then any live replica (the read parks
+// until the uplink recovers).
 func (rt *runtime) replicaClosest(t *mapTask, m int) int {
 	if t.blk == nil {
 		return t.srcMachine
@@ -258,6 +270,11 @@ func (rt *runtime) replicaClosest(t *mapTask, m int) int {
 		}
 	}
 	for _, r := range t.blk.Replicas {
+		if !rt.dead[r] && rt.rackLinkFactor[rt.cluster.RackOf(r)] > 0 {
+			return r
+		}
+	}
+	for _, r := range t.blk.Replicas {
 		if !rt.dead[r] {
 			return r
 		}
@@ -267,6 +284,7 @@ func (rt *runtime) replicaClosest(t *mapTask, m int) int {
 
 // taskStarted/taskEnded maintain the queue-share accounting.
 func (rt *runtime) taskStarted(je *jobExec) {
+	je.tasksLaunched++
 	if je.assignment != nil {
 		rt.runningPlanned++
 	} else {
@@ -364,6 +382,11 @@ func (rt *runtime) runReduce(st *stageExec, m int) {
 	rt.taskStarted(je)
 	je.racksTouched[rt.cluster.RackOf(m)] = true
 	tk := rt.track(je, st, nil, m)
+	if st.speculatedReduces > 0 {
+		// This launch is the backup copy for a watchdog-killed attempt.
+		st.speculatedReduces--
+		tk.noSpec = true
+	}
 	p := st.profile
 	perReduce := p.ShuffleBytes / float64(p.ReduceTasks)
 
@@ -384,6 +407,7 @@ func (rt *runtime) runReduce(st *stageExec, m int) {
 	}
 
 	write := func() {
+		tk.endCompute()
 		outBytes := p.OutputBytes / float64(p.ReduceTasks)
 		if outBytes <= 0 || !rt.isTerminal(st) || rt.opts.OutputReplication <= 1 {
 			finish()
@@ -490,12 +514,23 @@ func (rt *runtime) writeOutput(tk *runningTask, coflow netsim.CoflowID, m int, b
 	}
 }
 
-// pickRemoteRack returns a uniformly random rack != myRack.
+// pickRemoteRack returns a uniformly random rack != myRack, deterministic-
+// ally walking past racks isolated by a failed uplink when possible (a
+// write into such a rack would park until the link recovers).
 func (rt *runtime) pickRemoteRack(myRack int) int {
 	racks := rt.cluster.Config.Racks
 	r := rt.rng.Intn(racks - 1)
 	if r >= myRack {
 		r++
+	}
+	if rt.rackLinkFactor[r] > 0 {
+		return r
+	}
+	for off := 1; off < racks; off++ {
+		c := (r + off) % racks
+		if c != myRack && rt.rackLinkFactor[c] > 0 {
+			return c
+		}
 	}
 	return r
 }

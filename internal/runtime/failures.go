@@ -6,59 +6,98 @@ package runtime
 // machine dies, its running tasks are aborted — their pending timers and
 // network flows are canceled — and requeued for rescheduling elsewhere.
 // DFS replicas on dead machines become unreadable (the remaining replicas
-// keep the data available, as the paper's 2+1 replica spread guarantees),
-// and if a majority of the machines in a planned job's rack set are dead,
-// the job's placement constraints are dropped so it can use any available
-// resources.
+// keep the data available, as the paper's 2+1 replica spread guarantees)
+// and are re-replicated onto survivors by the repair daemon (repair.go).
+// If a majority of the machines in a planned job's rack set are dead, the
+// job's placement constraints are dropped so it can use any available
+// resources — or, with Options.ReplanOnFailure, the planner is re-invoked
+// with commitments for unaffected running jobs (replan.go).
+//
+// Failures are transient when Failure.Downtime > 0: the machine recovers
+// at At+Downtime, rejoining the slot pool, and its disk is treated as
+// intact — replicas not yet repaired away become readable again.
+//
+// Link faults (LinkFault) degrade or fail a rack's uplink+downlink at a
+// simulated time; in-flight flows re-share via the netsim recompute, and
+// flows crossing a fully failed link park until a later fault restores it.
 //
 // Simplification (documented in DESIGN.md): outputs of *completed* map
 // tasks on a failed machine are not re-executed — only in-flight work is
 // lost. Re-running completed upstream work would require per-partition
 // shuffle bookkeeping that the rack-aggregated flow model intentionally
-// avoids.
+// avoids. (Transient recovery narrows the window this matters: a
+// recovered machine's map outputs are served again once it is back.)
 //
 // Stragglers (§3.3 lists "failures, outliers" as the runtime factors the
 // offline model ignores): with probability StragglerFraction a task's
 // compute phase runs StragglerSlowdown times slower. With speculation
 // enabled, a watchdog fires once the task has run SpeculationThreshold
 // times its expected duration and relaunches it — modelling the backup
-// copy overtaking the straggler.
+// copy overtaking the straggler. Each task gets at most one speculative
+// relaunch, and the relaunched attempt runs at nominal speed (the backup
+// copy that overtook the straggler), so speculation always terminates.
 
 import (
 	"fmt"
+	"math"
 
 	"corral/internal/des"
 	"corral/internal/netsim"
 )
 
-// Failure kills one machine at a point in simulated time.
+// Failure kills one machine at a point in simulated time. A positive
+// Downtime makes the failure transient: the machine recovers (slots and
+// disk) at At+Downtime. Zero means the machine never comes back.
 type Failure struct {
-	At      float64
-	Machine int
+	At       float64
+	Machine  int
+	Downtime float64
+}
+
+// LinkFault rescales one rack's uplink and downlink capacity at a point in
+// simulated time. Factor 1 restores the full topology capacity; 0 fails
+// the links outright (flows crossing them park until a later fault with a
+// positive factor). Faults for the same rack apply in time order; the
+// last one wins.
+type LinkFault struct {
+	At     float64
+	Rack   int
+	Factor float64
 }
 
 // runningTask tracks one in-flight task attempt so it can be aborted.
 type runningTask struct {
-	je      *jobExec
-	st      *stageExec
-	mapT    *mapTask // nil for reduce attempts
-	machine int
-	started des.Time
-	aborted bool
-	done    bool
-	events  []*des.Event
-	flows   []*netsim.Flow
+	je       *jobExec
+	st       *stageExec
+	mapT     *mapTask // nil for reduce attempts
+	machine  int
+	started  des.Time
+	aborted  bool
+	done     bool
+	noSpec   bool // speculative relaunch: nominal speed, no watchdog
+	watchdog *des.Event
+	events   []*des.Event
+	flows    []*netsim.Flow
 }
 
 // track registers a new running attempt.
 func (rt *runtime) track(je *jobExec, st *stageExec, t *mapTask, m int) *runningTask {
 	tk := &runningTask{je: je, st: st, mapT: t, machine: m, started: rt.sim.Now()}
+	if t != nil && t.speculated {
+		tk.noSpec = true
+	}
 	rt.running[m] = append(rt.running[m], tk)
 	return tk
 }
 
-// finishTracking removes a completed attempt from the running set.
+// finishTracking removes a completed attempt from the running set and
+// cancels its owned timers (notably the speculation watchdog), so finished
+// tasks leave no dead events in the DES queue. Canceling the timer that is
+// currently firing is a harmless no-op.
 func (rt *runtime) finishTracking(tk *runningTask) {
+	for _, ev := range tk.events {
+		ev.Cancel()
+	}
 	lst := rt.running[tk.machine]
 	for i, other := range lst {
 		if other == tk {
@@ -149,6 +188,43 @@ func (rt *runtime) requeueMap(st *stageExec, t *mapTask) {
 	}
 }
 
+// failMachineTransient handles one scheduled Failure event: the machine
+// dies now and, for transient failures, a recovery is scheduled. A failure
+// hitting an already-dead machine is absorbed (its recovery, if any, was
+// scheduled by the earlier failure).
+func (rt *runtime) failMachineTransient(f Failure) {
+	if rt.dead[f.Machine] {
+		return
+	}
+	if f.Downtime > 0 {
+		at := float64(rt.sim.Now()) + f.Downtime
+		rt.recoverAt[f.Machine] = at
+		m := f.Machine
+		rt.sim.At(des.Time(at), func() { rt.recoverMachine(m) })
+	} else {
+		rt.recoverAt[f.Machine] = math.Inf(1)
+	}
+	rt.failMachine(f.Machine)
+}
+
+// recoverMachine brings a transiently failed machine back: slots rejoin
+// the pool and replicas still recorded on it (not yet repaired away)
+// become readable again — the disk survived the outage.
+func (rt *runtime) recoverMachine(m int) {
+	if !rt.dead[m] {
+		return
+	}
+	rt.dead[m] = false
+	rt.deadCount--
+	rt.freeSlots[m] = rt.cluster.Config.SlotsPerMachine
+	rt.recoverAt[m] = math.Inf(1)
+	rt.store.MachineUp(m)
+	if rt.opts.OnMachineRepair != nil {
+		rt.opts.OnMachineRepair(m, float64(rt.sim.Now()))
+	}
+	rt.requestDispatch()
+}
+
 // failMachine kills machine m at the current simulated time.
 func (rt *runtime) failMachine(m int) {
 	if rt.dead[m] {
@@ -157,12 +233,23 @@ func (rt *runtime) failMachine(m int) {
 	rt.dead[m] = true
 	rt.deadCount++
 	rt.freeSlots[m] = 0
+	if math.IsInf(rt.recoverAt[m], 1) || rt.recoverAt[m] <= float64(rt.sim.Now()) {
+		rt.recoverAt[m] = math.Inf(1)
+	}
 	// Abort running attempts (slot not returned: the machine is gone).
 	attempts := append([]*runningTask(nil), rt.running[m]...)
 	for _, tk := range attempts {
 		rt.abort(tk, false)
 	}
-	// Rack-failure fallback for submitted jobs (§3.1).
+	// The DFS loses the machine's replicas; the repair daemon re-creates
+	// them on survivors (repair.go).
+	rt.store.MachineDown(m)
+	rt.onMachineLost(m)
+	// Rack-failure fallback for submitted jobs (§3.1). With replanning
+	// enabled, constraints are still dropped first — the job keeps making
+	// progress even if the replan fails — and then the planner is asked
+	// for fresh guidelines.
+	replanNeeded := false
 	for _, je := range rt.jobs {
 		if je.allowedRacks == nil || je.done() {
 			continue
@@ -179,6 +266,44 @@ func (rt *runtime) failMachine(m int) {
 		}
 		if deadIn*2 > total {
 			je.allowedRacks = nil
+			if je.assignment != nil {
+				replanNeeded = true
+			}
+		}
+	}
+	if replanNeeded && rt.opts.ReplanOnFailure {
+		rt.replanOnFailure()
+	}
+	rt.requestDispatch()
+}
+
+// applyLinkFault rescales a rack's uplink and downlink. A full failure
+// (factor 0) triggers the same fallback/replan path as losing the rack's
+// machines: jobs constrained to the isolated rack would otherwise stall on
+// cross-rack transfers until recovery.
+func (rt *runtime) applyLinkFault(lf LinkFault) {
+	prev := rt.rackLinkFactor[lf.Rack]
+	rt.rackLinkFactor[lf.Rack] = lf.Factor
+	rt.net.SetLinkCapacityFactor(rt.cluster.RackUplink(lf.Rack), lf.Factor)
+	rt.net.SetLinkCapacityFactor(rt.cluster.RackDownlink(lf.Rack), lf.Factor)
+	if lf.Factor == 0 && prev > 0 {
+		replanNeeded := false
+		for _, je := range rt.jobs {
+			if je.allowedRacks == nil || je.done() {
+				continue
+			}
+			for _, r := range je.allowedRacks {
+				if r == lf.Rack {
+					je.allowedRacks = nil
+					if je.assignment != nil {
+						replanNeeded = true
+					}
+					break
+				}
+			}
+		}
+		if replanNeeded && rt.opts.ReplanOnFailure {
+			rt.replanOnFailure()
 		}
 	}
 	rt.requestDispatch()
@@ -193,13 +318,38 @@ func validateFailures(failures []Failure, machines int) error {
 		if f.At < 0 {
 			return fmt.Errorf("runtime: failure at negative time %g", f.At)
 		}
+		if f.Downtime < 0 {
+			return fmt.Errorf("runtime: failure with negative downtime %g", f.Downtime)
+		}
+	}
+	return nil
+}
+
+// validateLinkFaults checks configured link faults at startup.
+func validateLinkFaults(faults []LinkFault, racks int) error {
+	for _, lf := range faults {
+		if lf.Rack < 0 || lf.Rack >= racks {
+			return fmt.Errorf("runtime: link fault targets rack %d, out of range", lf.Rack)
+		}
+		if lf.At < 0 {
+			return fmt.Errorf("runtime: link fault at negative time %g", lf.At)
+		}
+		if lf.Factor < 0 {
+			return fmt.Errorf("runtime: link fault with negative factor %g", lf.Factor)
+		}
 	}
 	return nil
 }
 
 // computeDuration applies straggler injection to a task's nominal compute
-// time and arms the speculation watchdog if enabled.
+// time and arms the speculation watchdog if enabled. A speculative
+// relaunch (noSpec) runs at nominal speed with no watchdog — it models the
+// backup copy that overtook the straggler, and caps each task at one
+// speculative relaunch so a StragglerFraction of 1 cannot livelock.
 func (rt *runtime) computeDuration(tk *runningTask, nominal float64) float64 {
+	if tk.noSpec {
+		return nominal
+	}
 	dur := nominal
 	if rt.opts.StragglerFraction > 0 && rt.rng.Float64() < rt.opts.StragglerFraction {
 		dur *= rt.opts.StragglerSlowdown
@@ -207,11 +357,39 @@ func (rt *runtime) computeDuration(tk *runningTask, nominal float64) float64 {
 	if rt.opts.Speculation && dur > nominal {
 		threshold := rt.opts.SpeculationThreshold
 		watch := des.Time(nominal * threshold)
-		tk.after(rt, watch, func() {
+		ev := rt.sim.After(watch, func() {
+			if tk.aborted {
+				return
+			}
 			// Still running past the threshold: relaunch (the backup copy
 			// wins; the straggling attempt is killed).
-			rt.abort(tk, true)
+			rt.abortSpeculative(tk)
 		})
+		tk.events = append(tk.events, ev)
+		tk.watchdog = ev
 	}
 	return dur
+}
+
+// endCompute cancels the speculation watchdog when the monitored compute
+// phase ends. Straggler slowdown is injected into compute only, and the
+// watchdog threshold is scaled to the compute nominal — letting it run into
+// a reduce's output-write phase would kill healthy attempts whose write is
+// merely contended.
+func (tk *runningTask) endCompute() {
+	if tk.watchdog != nil {
+		tk.watchdog.Cancel()
+		tk.watchdog = nil
+	}
+}
+
+// abortSpeculative kills a straggling attempt and marks its task so the
+// relaunch skips the straggler roll (one backup copy per task).
+func (rt *runtime) abortSpeculative(tk *runningTask) {
+	if tk.mapT != nil {
+		tk.mapT.speculated = true
+	} else {
+		tk.st.speculatedReduces++
+	}
+	rt.abort(tk, true)
 }

@@ -22,6 +22,7 @@ package runtime
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 
@@ -85,8 +86,28 @@ type Options struct {
 	// Failures kills machines at points in simulated time: running tasks
 	// on a failed machine are aborted and re-executed elsewhere, and
 	// planned jobs whose rack sets lose a majority of machines fall back
-	// to unconstrained placement (§3.1).
+	// to unconstrained placement (§3.1). A Failure with Downtime > 0 is
+	// transient: the machine recovers at At+Downtime.
 	Failures []Failure
+	// LinkFaults rescale rack uplink/downlink capacities at simulated
+	// times (factor 0 = failed, 1 = restored). A permanent uplink failure
+	// can wedge jobs whose transfers must cross it; fault traces should
+	// always restore failed links eventually (chaos traces do).
+	LinkFaults []LinkFault
+	// ReplanOnFailure makes Corral re-invoke the offline planner when a
+	// planned job loses its racks (majority machine loss or uplink
+	// failure), with commitments for unaffected running jobs, instead of
+	// only dropping the affected job's constraints (replan.go).
+	ReplanOnFailure bool
+	// DisableReReplication turns off the DFS repair daemon that re-creates
+	// replicas lost to machine failures (repair.go). Repairs are on by
+	// default because HDFS re-replication is part of the paper's assumed
+	// substrate (§2).
+	DisableReReplication bool
+	// OnMachineRepair, if set, is invoked when a transiently failed
+	// machine recovers — a hook for experiments that track repair events.
+	// It runs inside the simulation; it must be deterministic.
+	OnMachineRepair func(machine int, at float64)
 	// StragglerFraction is the probability that a task's compute phase is
 	// a straggler, running StragglerSlowdown (default 6) times slower —
 	// the "outliers" of §3.3. Zero disables injection.
@@ -157,6 +178,12 @@ type Result struct {
 	TaskSeconds    float64
 	InputRackCoV   float64 // data balance of input placement (§6.2)
 	Events         uint64
+	// RepairBytes is DFS re-replication traffic (bytes copied by the
+	// repair daemon after machine failures); included in the network's
+	// total-byte accounting but not charged to any job.
+	RepairBytes float64
+	// Replans counts failure-triggered planner re-invocations.
+	Replans int
 }
 
 // AvgCompletionTime returns the mean of per-job completion times.
@@ -203,6 +230,14 @@ type runtime struct {
 	deadCount    int
 	running      map[int][]*runningTask
 	machineOrder []int // heartbeat visit order, reshuffled per pass
+
+	// Fault state.
+	rackLinkFactor []float64 // current uplink/downlink scale per rack
+	recoverAt      []float64 // scheduled recovery per dead machine (+Inf none)
+	repairs        map[repairKey]*repairOp
+	repairList     []*repairOp // append-ordered, for deterministic iteration
+	repairBytes    float64
+	replans        int
 
 	jobs     []*jobExec
 	byOrder  []*jobExec // dispatch order per policy
@@ -256,6 +291,9 @@ func newRuntime(opts Options, jobs []*job.Job) (*runtime, error) {
 	if err := validateFailures(opts.Failures, cluster.Config.Machines()); err != nil {
 		return nil, err
 	}
+	if err := validateLinkFaults(opts.LinkFaults, cluster.Config.Racks); err != nil {
+		return nil, err
+	}
 	if opts.RemoteStorageInput {
 		if _, ok := cluster.StorageLink(); !ok {
 			return nil, fmt.Errorf("runtime: RemoteStorageInput requires Topology.RemoteStorageBandwidth > 0")
@@ -287,6 +325,15 @@ func newRuntime(opts Options, jobs []*job.Job) (*runtime, error) {
 		rt.freeSlots[i] = cluster.Config.SlotsPerMachine
 		rt.machineOrder[i] = i
 	}
+	rt.rackLinkFactor = make([]float64, cluster.Config.Racks)
+	for i := range rt.rackLinkFactor {
+		rt.rackLinkFactor[i] = 1
+	}
+	rt.recoverAt = make([]float64, m)
+	for i := range rt.recoverAt {
+		rt.recoverAt[i] = math.Inf(1)
+	}
+	rt.repairs = make(map[repairKey]*repairOp)
 	for _, f := range opts.FailedMachines {
 		if f < 0 || f >= m {
 			return nil, fmt.Errorf("runtime: failed machine %d out of range", f)
@@ -295,6 +342,9 @@ func newRuntime(opts Options, jobs []*job.Job) (*runtime, error) {
 			rt.dead[f] = true
 			rt.deadCount++
 			rt.freeSlots[f] = 0
+			// Dead from time zero: no data was ever on them to repair, but
+			// the store must know not to place or read replicas there.
+			rt.store.MachineDown(f)
 		}
 	}
 
@@ -416,8 +466,12 @@ func (rt *runtime) run() (*Result, error) {
 		rt.sim.At(des.Time(je.job.Arrival), func() { rt.submit(je) })
 	}
 	for _, f := range rt.opts.Failures {
-		machine := f.Machine
-		rt.sim.At(des.Time(f.At), func() { rt.failMachine(machine) })
+		f := f
+		rt.sim.At(des.Time(f.At), func() { rt.failMachineTransient(f) })
+	}
+	for _, lf := range rt.opts.LinkFaults {
+		lf := lf
+		rt.sim.At(des.Time(lf.At), func() { rt.applyLinkFault(lf) })
 	}
 	rt.sim.Run()
 
@@ -426,6 +480,8 @@ func (rt *runtime) run() (*Result, error) {
 		CrossRackBytes: rt.net.CrossRackBytes(),
 		InputRackCoV:   rt.store.RackCoV(),
 		Events:         rt.sim.Fired(),
+		RepairBytes:    rt.repairBytes,
+		Replans:        rt.replans,
 	}
 	for _, je := range rt.jobs {
 		if je.completion < 0 {

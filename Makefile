@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check build vet fmt-check test race corralvet chaos
+.PHONY: check build vet fmt-check test race corralvet chaos fuzz bench
 
-check: build vet fmt-check test race corralvet chaos
+check: build vet fmt-check test race corralvet chaos fuzz
 	@echo "check: all gates passed"
 
 build:
@@ -36,3 +36,16 @@ corralvet:
 # bundled trace). -count=1 defeats the test cache so the sweep really runs.
 chaos:
 	$(GO) test ./internal/experiments -run 'TestChaos' -count=1 -v
+
+# corralcheck gate: the fixed-seed fuzzer replays the bundled randomized
+# workload+fault traces (task crashes, machine/link faults, AM kills, DFS
+# corruption) under all three schedulers with the invariant monitor
+# attached, plus the attrition-sweep acceptance (every job completes at
+# every bundled crash rate, completion degrades monotonically).
+fuzz:
+	$(GO) test ./internal/experiments -run 'TestFuzz|TestAttritionSweep' -count=1 -v
+
+# Perf baseline: every benchmark once on the fast "s" profile, captured
+# as machine-readable JSON for trajectory tracking.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x . | $(GO) run ./cmd/corralbench -o BENCH_baseline.json

@@ -1,0 +1,52 @@
+// Command corralbench converts `go test -bench` text output into a
+// machine-readable JSON baseline, so benchmark trajectories can be
+// diffed and tracked in version control.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchtime 1x . | corralbench -o BENCH_baseline.json
+//
+// Every benchmark line is parsed into its name, GOMAXPROCS suffix,
+// iteration count and metric pairs (ns/op plus any custom b.ReportMetric
+// values the harness republishes from the experiment reports). Header
+// lines (goos/goarch/pkg/cpu) are carried into the JSON envelope.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	out := flag.String("o", "", "output path (default stdout)")
+	flag.Parse()
+
+	baseline, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fatal(err)
+	}
+	if len(baseline.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines on stdin (pipe `go test -bench` output in)"))
+	}
+	buf, err := json.MarshalIndent(baseline, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("corralbench: wrote %d benchmarks to %s\n", len(baseline.Benchmarks), *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "corralbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Baseline is the JSON envelope: environment header plus one entry per
+// benchmark, in input order.
+type Baseline struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// parse consumes `go test -bench` output. Benchmark lines have the shape
+//
+//	BenchmarkName-8    4    272841 ns/op    12.3 custom_metric
+//
+// i.e. a name (with optional -GOMAXPROCS suffix), an iteration count,
+// then (value, unit) pairs. Unrecognized lines (PASS, ok, test logs) are
+// skipped.
+func parse(sc *bufio.Scanner) (*Baseline, error) {
+	b := &Baseline{Benchmarks: []Benchmark{}}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			b.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			b.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			b.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			b.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		bm, err := parseLine(fields)
+		if err != nil {
+			return nil, fmt.Errorf("line %q: %w", line, err)
+		}
+		b.Benchmarks = append(b.Benchmarks, *bm)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+func parseLine(fields []string) (*Benchmark, error) {
+	bm := &Benchmark{Metrics: map[string]float64{}}
+	bm.Name = strings.TrimPrefix(fields[0], "Benchmark")
+	if i := strings.LastIndex(bm.Name, "-"); i > 0 {
+		if procs, err := strconv.Atoi(bm.Name[i+1:]); err == nil {
+			bm.Procs = procs
+			bm.Name = bm.Name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("iteration count %q: %v", fields[1], err)
+	}
+	bm.Iterations = iters
+	rest := fields[2:]
+	if len(rest)%2 != 0 {
+		return nil, fmt.Errorf("odd metric field count %d", len(rest))
+	}
+	for i := 0; i < len(rest); i += 2 {
+		v, err := strconv.ParseFloat(rest[i], 64)
+		if err != nil {
+			return nil, fmt.Errorf("metric value %q: %v", rest[i], err)
+		}
+		bm.Metrics[rest[i+1]] = v
+	}
+	return bm, nil
+}

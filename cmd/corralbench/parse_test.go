@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: corral
+cpu: Some CPU @ 2.40GHz
+BenchmarkFig6_BatchMakespan-8   	       1	  27284100 ns/op	        12.30 makespan_reduction_pct
+BenchmarkLPGap 	       2	   5000000 ns/op
+some unrelated log line
+PASS
+ok  	corral	1.234s
+`
+
+func TestParse(t *testing.T) {
+	b, err := parse(bufio.NewScanner(strings.NewReader(sample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Goos != "linux" || b.Goarch != "amd64" || b.Pkg != "corral" {
+		t.Fatalf("header = %q/%q/%q", b.Goos, b.Goarch, b.Pkg)
+	}
+	if !strings.Contains(b.CPU, "2.40GHz") {
+		t.Fatalf("cpu = %q", b.CPU)
+	}
+	if len(b.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(b.Benchmarks))
+	}
+	fig6 := b.Benchmarks[0]
+	if fig6.Name != "Fig6_BatchMakespan" || fig6.Procs != 8 || fig6.Iterations != 1 {
+		t.Fatalf("fig6 = %+v", fig6)
+	}
+	if fig6.Metrics["ns/op"] != 27284100 {
+		t.Fatalf("fig6 ns/op = %g", fig6.Metrics["ns/op"])
+	}
+	if fig6.Metrics["makespan_reduction_pct"] != 12.30 {
+		t.Fatalf("fig6 custom metric = %g", fig6.Metrics["makespan_reduction_pct"])
+	}
+	// No -procs suffix: the name survives intact.
+	if b.Benchmarks[1].Name != "LPGap" || b.Benchmarks[1].Procs != 0 {
+		t.Fatalf("lpgap = %+v", b.Benchmarks[1])
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"BenchmarkX-8 notanumber 5 ns/op",
+		"BenchmarkX-8 1 5 ns/op 7", // dangling metric value
+		"BenchmarkX-8 1 bogus ns/op",
+	} {
+		if _, err := parse(bufio.NewScanner(strings.NewReader(bad))); err == nil {
+			t.Errorf("parse(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestParseEmptyInput(t *testing.T) {
+	b, err := parse(bufio.NewScanner(strings.NewReader("PASS\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Benchmarks) != 0 {
+		t.Fatalf("parsed %d benchmarks from benchmark-free input", len(b.Benchmarks))
+	}
+}

@@ -30,8 +30,30 @@ func main() {
 		asJSON = flag.Bool("json", false, "emit key outcome values as JSON")
 		chaosI = flag.String("chaos-intensities", "",
 			"comma-separated fault intensities for the chaos sweep (implies -exp chaos)")
+		fuzzTraces = flag.Int("fuzz-traces", 0,
+			"trace count for the corralcheck fuzzer (implies -exp fuzz; 0 = bundled default)")
 	)
 	flag.Parse()
+
+	if *fuzzTraces > 0 || *exp == "fuzz" {
+		sz, err := parseSize(*size)
+		if err != nil {
+			fatal(err)
+		}
+		report, err := corral.RunFuzzExperiment(sz, *seed, *fuzzTraces)
+		if err != nil {
+			fatal(err)
+		}
+		if *asJSON {
+			emitJSON(map[string]map[string]float64{"fuzz": report.Values})
+			return
+		}
+		fmt.Println(report)
+		if report.Values["violations"] != 0 {
+			fatal(fmt.Errorf("%g invariant violations", report.Values["violations"]))
+		}
+		return
+	}
 
 	if *chaosI != "" {
 		sz, err := parseSize(*size)
@@ -47,11 +69,7 @@ func main() {
 			fatal(err)
 		}
 		if *asJSON {
-			enc := json.NewEncoder(os.Stdout)
-			enc.SetIndent("", "  ")
-			if err := enc.Encode(map[string]map[string]float64{"chaos": report.Values}); err != nil {
-				fatal(err)
-			}
+			emitJSON(map[string]map[string]float64{"chaos": report.Values})
 			return
 		}
 		fmt.Println(report)
@@ -94,11 +112,15 @@ func main() {
 		fmt.Println(report)
 	}
 	if *asJSON {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(jsonOut); err != nil {
-			fatal(err)
-		}
+		emitJSON(jsonOut)
+	}
+}
+
+func emitJSON(v map[string]map[string]float64) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fatal(err)
 	}
 }
 

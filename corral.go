@@ -26,6 +26,7 @@ package corral
 
 import (
 	"corral/internal/experiments"
+	"corral/internal/invariants"
 	"corral/internal/job"
 	"corral/internal/lp"
 	"corral/internal/model"
@@ -172,6 +173,33 @@ type SimConfig struct {
 	// InMemoryInput models Spark-like in-memory data: no replicated output
 	// writes, network-bound shuffles remain (§7 "In-memory systems").
 	InMemoryInput bool
+	// TaskFailureProb crashes each task attempt with this probability;
+	// crashed attempts retry with exponential backoff up to
+	// MaxTaskAttempts (default 4, YARN's mapreduce.map.maxattempts),
+	// after which the job fails terminally. Machines accumulating
+	// BlacklistThreshold failed attempts (default 3; negative disables)
+	// are blacklisted out of the slot pool for BlacklistCooldown seconds.
+	TaskFailureProb    float64
+	MaxTaskAttempts    int
+	RetryBackoff       float64
+	BlacklistThreshold int
+	BlacklistCooldown  float64
+	// AMFailures kill jobs' application masters at points in simulated
+	// time. A restarted job attempt (capped at MaxAMAttempts, default 2)
+	// reuses completed map outputs surviving on live machines and keeps
+	// its planned rack set.
+	AMFailures     []AMFailure
+	MaxAMAttempts  int
+	AMRestartDelay float64
+	// Corruptions silently corrupt one DFS replica on a machine at a
+	// point in simulated time; reads checksum-detect corruption, fail
+	// over to the next-closest clean replica and enqueue the bad replica
+	// for re-replication.
+	Corruptions []Corruption
+	// Probe receives runtime lifecycle events (task attempts, machine
+	// state, AM restarts, job terminality); attach an InvariantMonitor to
+	// check the run. Nil disables probing.
+	Probe InvariantProbe
 }
 
 // Failure kills one machine at a point in simulated time; Downtime > 0
@@ -181,6 +209,33 @@ type Failure = runtime.Failure
 // LinkFault fails or rescales one rack's uplink/downlink pair at a point
 // in simulated time (Factor 0 = outage, 1 = full capacity).
 type LinkFault = runtime.LinkFault
+
+// AMFailure kills one job's application master at a point in simulated
+// time.
+type AMFailure = runtime.AMFailure
+
+// Corruption silently corrupts one DFS replica on a machine at a point
+// in simulated time.
+type Corruption = runtime.Corruption
+
+// InvariantProbe receives runtime lifecycle events; InvariantEvent is
+// one such event.
+type (
+	InvariantProbe = invariants.Probe
+	InvariantEvent = invariants.Event
+)
+
+// InvariantMonitor checks runtime lifecycle invariants (slot
+// conservation, no attempts on dead or blacklisted machines, job
+// terminality, feasible link rates, DFS byte accounting) as a run
+// streams events into it.
+type InvariantMonitor = invariants.Monitor
+
+// NewInvariantMonitor builds a monitor for a cluster of the given shape;
+// pass it as SimConfig.Probe and inspect Violations afterwards.
+func NewInvariantMonitor(cluster ClusterConfig) *InvariantMonitor {
+	return invariants.NewMonitor(cluster.Machines(), cluster.SlotsPerMachine)
+}
 
 // Result is a simulation outcome.
 type Result = runtime.Result
@@ -207,6 +262,16 @@ func Simulate(cfg SimConfig, jobs []*Job) (*Result, error) {
 		Speculation:          cfg.Speculation,
 		RemoteStorageInput:   cfg.RemoteStorageInput,
 		InMemoryInput:        cfg.InMemoryInput,
+		TaskFailureProb:      cfg.TaskFailureProb,
+		MaxTaskAttempts:      cfg.MaxTaskAttempts,
+		RetryBackoff:         cfg.RetryBackoff,
+		BlacklistThreshold:   cfg.BlacklistThreshold,
+		BlacklistCooldown:    cfg.BlacklistCooldown,
+		AMFailures:           cfg.AMFailures,
+		MaxAMAttempts:        cfg.MaxAMAttempts,
+		AMRestartDelay:       cfg.AMRestartDelay,
+		Corruptions:          cfg.Corruptions,
+		Probe:                cfg.Probe,
 	}, jobs)
 }
 
@@ -343,6 +408,28 @@ func RunChaosExperiment(size ExperimentSize, seed int64, intensities []float64) 
 		intensities = experiments.DefaultChaosIntensities
 	}
 	return experiments.ChaosWithIntensities(experiments.Params{Size: size, Seed: seed}, intensities)
+}
+
+// FuzzParams configures a corralcheck sweep; FuzzReport is its outcome.
+type (
+	FuzzParams = experiments.FuzzParams
+	FuzzReport = experiments.FuzzReport
+)
+
+// RunFuzz executes the corralcheck property fuzzer: seeded randomized
+// workload + fault traces (machine failures, uplink degradation, task
+// crashes, AM kills, DFS corruption) replayed under Yarn-CS,
+// constraint-drop Corral and replanning Corral with the invariant
+// monitor attached. The report is a pure function of the params.
+func RunFuzz(p FuzzParams) (*FuzzReport, error) { return experiments.RunFuzz(p) }
+
+// RunFuzzExperiment renders a corralcheck sweep as an ExperimentReport;
+// traces <= 0 selects the bundled default trace count.
+func RunFuzzExperiment(size ExperimentSize, seed int64, traces int) (*ExperimentReport, error) {
+	if traces <= 0 {
+		traces = experiments.DefaultFuzzTraces
+	}
+	return experiments.FuzzWithTraces(experiments.Params{Size: size, Seed: seed}, traces)
 }
 
 // UnknownExperimentError reports an unrecognized experiment ID.

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"corral/internal/topology"
 )
@@ -124,6 +125,18 @@ type Store struct {
 	// there. Entries are appended at create/repair time and lazily dropped
 	// by BlocksOn once a repair moves the replica away.
 	blocksOn [][]*Block
+
+	// corrupt marks replica slots whose on-disk data is bad (fault
+	// injection). A corrupt replica still occupies space and its machine
+	// may be live, but reads checksum-detect it and fail over; repair
+	// re-creates the slot from a clean holder and clears the mark.
+	corrupt map[replicaSlot]bool
+}
+
+// replicaSlot names one replica of one block (Replicas[Slot]).
+type replicaSlot struct {
+	blk  *Block
+	slot int
 }
 
 // New creates an empty store. blockSize <= 0 selects DefaultBlockSize.
@@ -137,6 +150,7 @@ func New(cluster *topology.Cluster, blockSize float64, rng *rand.Rand) *Store {
 		blockSize: blockSize,
 		rng:       rng,
 		files:     make(map[string]*File),
+		corrupt:   make(map[replicaSlot]bool),
 	}
 	m := cluster.Config.Machines()
 	s.view = View{
@@ -163,6 +177,34 @@ func (s *Store) MachineUp(m int) { s.view.alive[m] = true }
 
 // Alive reports whether machine m is up.
 func (s *Store) Alive(m int) bool { return s.view.alive[m] }
+
+// CorruptReplica marks one of block b's replicas on machine m as corrupt
+// (silent data corruption; detected by checksum on read). It reports
+// whether a clean replica on m existed to corrupt.
+func (s *Store) CorruptReplica(b *Block, m int) bool {
+	for slot, r := range b.Replicas {
+		if r == m && !s.corrupt[replicaSlot{b, slot}] {
+			s.corrupt[replicaSlot{b, slot}] = true
+			return true
+		}
+	}
+	return false
+}
+
+// ReplicaCorrupt reports whether block b's replica on machine m is
+// corrupt. Readers use it to checksum-verify a candidate source and fail
+// over to the next-closest clean replica.
+func (s *Store) ReplicaCorrupt(b *Block, m int) bool {
+	for slot, r := range b.Replicas {
+		if r == m && s.corrupt[replicaSlot{b, slot}] {
+			return true
+		}
+	}
+	return false
+}
+
+// CorruptReplicas returns the number of currently corrupt replica slots.
+func (s *Store) CorruptReplicas() int { return len(s.corrupt) }
 
 // BlockSize returns the store's chunk size in bytes.
 func (s *Store) BlockSize() float64 { return s.blockSize }
@@ -209,8 +251,14 @@ func (s *Store) Create(name string, size float64, policy Placement) (*File, erro
 	return f, nil
 }
 
-// Open returns the named file, or nil if absent.
-func (s *Store) Open(name string) *File { return s.files[name] }
+// Open returns the named file; ok is false when no such file exists.
+// Callers must check ok — an absent file is a caller bug (bad name or a
+// read before upload) and has to fail loudly at the call site instead of
+// surfacing later as a nil dereference mid-simulation.
+func (s *Store) Open(name string) (f *File, ok bool) {
+	f, ok = s.files[name]
+	return f, ok
+}
 
 // ClosestReplica returns the replica of block b that is cheapest for a
 // reader on machine m: same machine, then same rack, then any (first)
@@ -303,33 +351,39 @@ func (s *Store) BlocksOn(m int) []*Block {
 	return out
 }
 
-// PlanRepairs plans re-replication for b's replicas that sit on dead
-// machines. busy, if non-nil, reports slots with an in-flight repair and
+// PlanRepairs plans re-replication for b's replicas that are lost (their
+// machine is dead) or corrupt (checksum-detected bad data on a live
+// machine). busy, if non-nil, reports slots with an in-flight repair and
 // the destination it targets, so double-repair is avoided and in-flight
 // destinations count toward the rack spread. Targets restore the 2+1
 // arrangement: while the surviving replicas sit on a single rack, the copy
 // goes to the least-loaded other rack; otherwise it goes to the surviving
 // rack holding the fewest replicas (ties toward the lower rack index).
-// Slots with no live replica to copy from are skipped — the block is
-// unreadable until a holder recovers.
+// Copies always read from a live clean replica; if none exists, repair is
+// skipped — the block is unreadable until a holder recovers.
 func (s *Store) PlanRepairs(b *Block, busy func(slot int) (dst int, ok bool)) []Repair {
-	var holders []int // live holders plus in-flight repair destinations
+	var holders []int // live clean holders plus in-flight repair destinations
+	var avoid []int   // machines unusable as targets: all replicas + in-flight
+	var srcs []int    // live clean holders only (valid copy sources)
 	for slot, m := range b.Replicas {
-		if s.view.alive[m] {
+		avoid = append(avoid, m)
+		if s.view.alive[m] && !s.corrupt[replicaSlot{b, slot}] {
 			holders = append(holders, m)
+			srcs = append(srcs, m)
 		} else if busy != nil {
 			if dst, ok := busy(slot); ok {
 				holders = append(holders, dst)
+				avoid = append(avoid, dst)
 			}
 		}
 	}
-	if len(holders) == 0 {
+	if len(srcs) == 0 {
 		return nil
 	}
-	src := holders[0]
+	src := srcs[0]
 	var out []Repair
 	for slot, m := range b.Replicas {
-		if s.view.alive[m] {
+		if s.view.alive[m] && !s.corrupt[replicaSlot{b, slot}] {
 			continue
 		}
 		if busy != nil {
@@ -337,24 +391,30 @@ func (s *Store) PlanRepairs(b *Block, busy func(slot int) (dst int, ok bool)) []
 				continue
 			}
 		}
-		dst := s.repairTarget(holders)
+		dst := s.repairTarget(holders, avoid)
 		if dst < 0 {
 			continue
 		}
 		out = append(out, Repair{Block: b, Slot: slot, Src: src, Dst: dst})
 		holders = append(holders, dst)
+		avoid = append(avoid, dst)
 	}
 	return out
 }
 
-// repairTarget picks the machine for one re-created replica given the
-// block's current holders (live replicas and in-flight destinations).
-func (s *Store) repairTarget(holders []int) int {
+// repairTarget picks the machine for one re-created replica. holders
+// (live clean replicas and in-flight destinations) drive the rack-spread
+// choice; avoid additionally excludes machines already carrying any
+// replica of the block — including corrupt ones, so the re-created copy
+// never lands next to the bad data it replaces.
+func (s *Store) repairTarget(holders, avoid []int) int {
 	racks := s.cluster.Config.Racks
 	cnt := make([]int, racks)
-	exclude := make(map[int]bool, len(holders))
+	exclude := make(map[int]bool, len(avoid))
 	for _, m := range holders {
 		cnt[s.cluster.RackOf(m)]++
+	}
+	for _, m := range avoid {
 		exclude[m] = true
 	}
 	holderRacks, firstRack := 0, -1
@@ -425,7 +485,9 @@ func (s *Store) leastLoadedLiveRack(skip int, exclude map[int]bool) int {
 }
 
 // CommitRepair installs a finished repair: the slot's replica moves from
-// the dead holder to Dst, with load accounting following the bytes.
+// the lost or corrupt holder to Dst, with load accounting following the
+// bytes. The slot's corruption mark, if any, is cleared — the new copy
+// came from a clean source.
 func (s *Store) CommitRepair(r Repair) {
 	old := r.Block.Replicas[r.Slot]
 	sz := r.Block.Size
@@ -435,4 +497,49 @@ func (s *Store) CommitRepair(r Repair) {
 	s.view.machineBytes[r.Dst] += sz
 	s.view.rackBytes[s.cluster.RackOf(r.Dst)] += sz
 	s.blocksOn[r.Dst] = append(s.blocksOn[r.Dst], r.Block)
+	delete(s.corrupt, replicaSlot{r.Block, r.Slot})
+}
+
+// AuditAccounting recomputes the per-machine and per-rack byte accounting
+// from the file set and compares it with the incrementally maintained
+// view — the byte-conservation invariant: creates and repairs move
+// accounting around but never create or destroy it. Returns nil when they
+// agree within epsilon, an error naming the first divergence otherwise.
+func (s *Store) AuditAccounting() error {
+	machines := make([]float64, len(s.view.machineBytes))
+	// Collect-and-sort: files is a map; audit order must be deterministic.
+	names := make([]string, 0, len(s.files))
+	for name := range s.files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := s.files[name]
+		for i := range f.Blocks {
+			b := &f.Blocks[i]
+			if len(b.Replicas) == 0 {
+				return fmt.Errorf("dfs audit: file %q block %d has no replicas", name, i)
+			}
+			for _, m := range b.Replicas {
+				if m < 0 || m >= len(machines) {
+					return fmt.Errorf("dfs audit: file %q block %d replica on machine %d out of range", name, i, m)
+				}
+				machines[m] += b.Size
+			}
+		}
+	}
+	const eps = 1e-3 // bytes; block sizes are large, float error is tiny
+	racks := make([]float64, len(s.view.rackBytes))
+	for m, got := range machines {
+		if diff := got - s.view.machineBytes[m]; diff > eps || diff < -eps {
+			return fmt.Errorf("dfs audit: machine %d accounts %.1f bytes, files hold %.1f", m, s.view.machineBytes[m], got)
+		}
+		racks[s.cluster.RackOf(m)] += got
+	}
+	for r, got := range racks {
+		if diff := got - s.view.rackBytes[r]; diff > eps || diff < -eps {
+			return fmt.Errorf("dfs audit: rack %d accounts %.1f bytes, files hold %.1f", r, s.view.rackBytes[r], got)
+		}
+	}
+	return nil
 }

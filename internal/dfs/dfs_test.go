@@ -49,10 +49,10 @@ func TestCreateBasics(t *testing.T) {
 	if got := f.Blocks[3].Size; math.Abs(got-0.5*DefaultBlockSize) > 1 {
 		t.Fatalf("last block size = %g, want half block", got)
 	}
-	if s.Open("input") != f {
+	if got, ok := s.Open("input"); !ok || got != f {
 		t.Fatal("Open did not return the created file")
 	}
-	if s.Open("absent") != nil {
+	if got, ok := s.Open("absent"); ok || got != nil {
 		t.Fatal("Open returned a file for an absent name")
 	}
 }
@@ -208,6 +208,91 @@ func TestConfigurableReplication(t *testing.T) {
 	f, _ := s.Create("r2", 100, DefaultPlacement{Replicas: 2})
 	if len(f.Blocks[0].Replicas) != 2 {
 		t.Fatalf("replicas = %d, want 2", len(f.Blocks[0].Replicas))
+	}
+}
+
+func TestCorruptionRepairLifecycle(t *testing.T) {
+	s := newStore(5)
+	f, err := s.Create("data", 2*DefaultBlockSize, DefaultPlacement{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &f.Blocks[0]
+	victim := b.Replicas[1]
+	if !s.CorruptReplica(b, victim) {
+		t.Fatal("CorruptReplica found nothing to corrupt")
+	}
+	if s.CorruptReplica(b, victim) {
+		t.Fatal("second corruption of the same replica should find no clean copy")
+	}
+	if !s.ReplicaCorrupt(b, victim) {
+		t.Fatal("ReplicaCorrupt did not report the corrupted replica")
+	}
+	if s.ReplicaCorrupt(b, b.Replicas[0]) {
+		t.Fatal("clean replica reported corrupt")
+	}
+	if s.CorruptReplicas() != 1 {
+		t.Fatalf("CorruptReplicas = %d, want 1", s.CorruptReplicas())
+	}
+
+	reps := s.PlanRepairs(b, nil)
+	if len(reps) != 1 {
+		t.Fatalf("planned %d repairs for one corrupt replica, want 1", len(reps))
+	}
+	r := reps[0]
+	if b.Replicas[r.Slot] != victim {
+		t.Fatalf("repair targets slot %d (machine %d), want the corrupt machine %d", r.Slot, b.Replicas[r.Slot], victim)
+	}
+	if s.ReplicaCorrupt(b, r.Src) || !s.Alive(r.Src) {
+		t.Fatalf("repair source %d is not a live clean replica", r.Src)
+	}
+	for _, m := range b.Replicas {
+		if r.Dst == m {
+			t.Fatalf("repair destination %d already holds a replica (%v)", r.Dst, b.Replicas)
+		}
+	}
+	s.CommitRepair(r)
+	if s.CorruptReplicas() != 0 {
+		t.Fatalf("CorruptReplicas = %d after repair, want 0", s.CorruptReplicas())
+	}
+	if s.ReplicaCorrupt(b, r.Dst) {
+		t.Fatal("repaired replica still marked corrupt")
+	}
+	if err := s.AuditAccounting(); err != nil {
+		t.Fatalf("accounting diverged after corruption repair: %v", err)
+	}
+}
+
+func TestPlanRepairsNeedsCleanSource(t *testing.T) {
+	s := newStore(6)
+	f, err := s.Create("doomed", DefaultBlockSize, DefaultPlacement{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &f.Blocks[0]
+	for _, m := range append([]int(nil), b.Replicas...) {
+		s.CorruptReplica(b, m)
+	}
+	if reps := s.PlanRepairs(b, nil); reps != nil {
+		t.Fatalf("planned repairs with no clean source: %v", reps)
+	}
+}
+
+func TestAuditAccounting(t *testing.T) {
+	s := newStore(9)
+	for i := 0; i < 5; i++ {
+		name := string(rune('a' + i))
+		if _, err := s.Create(name, 3*DefaultBlockSize, DefaultPlacement{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.AuditAccounting(); err != nil {
+		t.Fatalf("clean store failed audit: %v", err)
+	}
+	// Tamper with the incremental accounting: the audit must notice.
+	s.view.machineBytes[0] += 12345
+	if err := s.AuditAccounting(); err == nil {
+		t.Fatal("audit missed tampered machine accounting")
 	}
 }
 

@@ -166,17 +166,22 @@ func ChaosWithIntensities(p Params, intensities []float64) (*Report, error) {
 	t := &metrics.Table{
 		Title: fmt.Sprintf("online W1, fault horizon %.1fs; avg completion (s) and slowdown vs clean Corral",
 			rep.Horizon),
-		Columns: []string{"intensity", "yarn-cs", "corral (drop)", "corral (replan)", "replan slowdown"},
+		Columns: []string{"intensity", "yarn-cs", "corral (drop)", "corral (replan)",
+			"replan p50", "replan p95", "replan p99", "replan slowdown"},
 	}
 	r.set("clean_avg_completion", cleanAvg)
+	r.set("clean_p95_completion", metrics.P95(rep.Clean.CompletionTimes()))
 	for _, run := range rep.Runs {
 		y, d, pl := avgCompletion(run.Yarn), avgCompletion(run.CorralDrop), avgCompletion(run.CorralReplan)
+		ct := run.CorralReplan.CompletionTimes()
 		t.AddRow(metrics.F(run.Intensity, 2), metrics.F(y, 1), metrics.F(d, 1), metrics.F(pl, 1),
+			metrics.F(metrics.P50(ct), 1), metrics.F(metrics.P95(ct), 1), metrics.F(metrics.P99(ct), 1),
 			metrics.F(metrics.Slowdown(cleanAvg, pl), 2))
 		key := func(s string) string { return fmt.Sprintf("%s_i%02.0f", s, run.Intensity*100) }
 		r.set(key("avg_yarn"), y)
 		r.set(key("avg_corral_drop"), d)
 		r.set(key("avg_corral_replan"), pl)
+		r.set(key("p95_corral_replan"), metrics.P95(ct))
 		r.set(key("replans"), float64(run.CorralReplan.Replans))
 		r.set(key("repair_bytes"), run.CorralReplan.RepairBytes)
 	}

@@ -141,6 +141,8 @@ func Registry() []struct {
 		{"ext-replan", "extension: periodic replanning for late jobs (§3.1)", ExtReplan},
 		{"ext-shared-data", "extension: shared datasets / data-job dependencies (§7)", ExtSharedData},
 		{"chaos", "chaos: graceful degradation under machine + uplink fault traces", Chaos},
+		{"attrition", "attrition: task retries + blacklisting under rising crash rates", Attrition},
+		{"fuzz", "corralcheck: randomized fault traces under the invariant monitor", Fuzz},
 	}
 }
 

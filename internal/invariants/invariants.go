@@ -1,0 +1,266 @@
+// Package invariants is the runtime invariant monitor behind the
+// corralcheck fuzzer: the simulation runtime streams lifecycle events
+// (task attempts, machine state changes, AM restarts, job terminations)
+// into a Monitor, which checks the safety properties every run must obey
+// regardless of the fault trace thrown at it:
+//
+//   - slot conservation: a machine never runs more concurrent attempts
+//     than it has slots, and attempt counts never go negative;
+//   - placement safety: no attempt ever starts on a dead or blacklisted
+//     machine;
+//   - event-time monotonicity: observed event times never decrease;
+//   - terminality: every submitted job either completes or fails,
+//     exactly once, and nothing is still running at simulation end;
+//   - externally audited properties (per-link flow-rate feasibility from
+//     netsim, byte conservation from the DFS) reported through Audit
+//     events.
+//
+// The package deliberately imports nothing from the simulation stack so
+// the runtime can depend on it without cycles; richer checks that need
+// netsim or dfs internals run in those packages and report their verdict
+// here as Audit events.
+//
+// Determinism obligations: a Monitor's violation list is a pure function
+// of the observed event sequence — no maps are ranged unsorted, no
+// randomness, no wall clock.
+package invariants
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kind enumerates the event types the runtime emits.
+type Kind int
+
+// Lifecycle event kinds.
+const (
+	// JobSubmit: a job became schedulable (Job set).
+	JobSubmit Kind = iota
+	// TaskStart: an attempt began on Machine for Job.
+	TaskStart
+	// TaskFinish: an attempt completed successfully on Machine.
+	TaskFinish
+	// TaskAbort: an in-flight attempt was killed (machine death, AM
+	// death, speculation, or crash); its slot-usage ends here.
+	TaskAbort
+	// TaskCrash: informational — an attempt suffered an injected
+	// transient failure. A TaskAbort for the same attempt follows.
+	TaskCrash
+	// MachineDown / MachineUp: machine liveness transitions.
+	MachineDown
+	MachineUp
+	// Blacklist / Unblacklist: scheduling-pool membership transitions
+	// driven by accumulated attempt failures.
+	Blacklist
+	Unblacklist
+	// AMFail / AMRestart: a job lost its application master / the
+	// restarted attempt resumed.
+	AMFail
+	AMRestart
+	// JobDone / JobFail: terminal job outcomes.
+	JobDone
+	JobFail
+	// Corruption: a DFS replica was corrupted (Machine set).
+	Corruption
+	// Audit: an externally checked invariant failed; Detail carries the
+	// message. Always recorded as a violation.
+	Audit
+	// SimEnd: the event queue drained; final checks run here.
+	SimEnd
+)
+
+var kindNames = map[Kind]string{
+	JobSubmit: "job-submit", TaskStart: "task-start", TaskFinish: "task-finish",
+	TaskAbort: "task-abort", TaskCrash: "task-crash",
+	MachineDown: "machine-down", MachineUp: "machine-up",
+	Blacklist: "blacklist", Unblacklist: "unblacklist",
+	AMFail: "am-fail", AMRestart: "am-restart",
+	JobDone: "job-done", JobFail: "job-fail",
+	Corruption: "corruption", Audit: "audit", SimEnd: "sim-end",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Event is one observation from the runtime. Machine and Job are -1 when
+// not applicable.
+type Event struct {
+	Time    float64
+	Kind    Kind
+	Machine int
+	Job     int
+	Detail  string
+}
+
+// Probe receives the runtime's event stream. runtime.Options.Probe
+// accepts any implementation; Monitor is the checking one.
+type Probe interface {
+	Observe(Event)
+}
+
+// maxViolations caps stored violation messages so a badly broken run
+// cannot allocate without bound; the count keeps incrementing.
+const maxViolations = 100
+
+// Monitor checks the invariants over an event stream. Zero value is not
+// usable; call NewMonitor.
+type Monitor struct {
+	machines int
+	slots    int
+
+	lastTime    float64
+	sawEvent    bool
+	runningOn   []int
+	down        []bool
+	blacklisted []bool
+
+	submitted map[int]bool
+	terminal  map[int]Kind
+
+	violations []string
+	count      int
+	ended      bool
+}
+
+// NewMonitor creates a monitor for a cluster of the given shape.
+func NewMonitor(machines, slotsPerMachine int) *Monitor {
+	return &Monitor{
+		machines:    machines,
+		slots:       slotsPerMachine,
+		runningOn:   make([]int, machines),
+		down:        make([]bool, machines),
+		blacklisted: make([]bool, machines),
+		submitted:   make(map[int]bool),
+		terminal:    make(map[int]Kind),
+	}
+}
+
+// Violationf records one invariant violation.
+func (m *Monitor) Violationf(format string, args ...any) {
+	m.count++
+	if len(m.violations) < maxViolations {
+		m.violations = append(m.violations, fmt.Sprintf(format, args...))
+	}
+}
+
+// Violations returns the recorded violation messages (capped; see
+// ViolationCount for the true total).
+func (m *Monitor) Violations() []string {
+	return append([]string(nil), m.violations...)
+}
+
+// ViolationCount returns the total number of violations observed.
+func (m *Monitor) ViolationCount() int { return m.count }
+
+// Ended reports whether a SimEnd event was observed.
+func (m *Monitor) Ended() bool { return m.ended }
+
+// machineOK validates a machine index for events that carry one.
+func (m *Monitor) machineOK(e Event) bool {
+	if e.Machine < 0 || e.Machine >= m.machines {
+		m.Violationf("t=%.3f %v: machine %d out of range [0,%d)", e.Time, e.Kind, e.Machine, m.machines)
+		return false
+	}
+	return true
+}
+
+// Observe checks one event against the invariants.
+func (m *Monitor) Observe(e Event) {
+	if m.sawEvent && e.Time < m.lastTime {
+		m.Violationf("t=%.3f %v: event time went backwards (last %.3f)", e.Time, e.Kind, m.lastTime)
+	}
+	if e.Time >= m.lastTime {
+		m.lastTime = e.Time
+	}
+	m.sawEvent = true
+
+	switch e.Kind {
+	case JobSubmit:
+		m.submitted[e.Job] = true
+	case TaskStart:
+		if !m.machineOK(e) {
+			return
+		}
+		if m.down[e.Machine] {
+			m.Violationf("t=%.3f job %d: attempt started on dead machine %d", e.Time, e.Job, e.Machine)
+		}
+		if m.blacklisted[e.Machine] {
+			m.Violationf("t=%.3f job %d: attempt started on blacklisted machine %d", e.Time, e.Job, e.Machine)
+		}
+		m.runningOn[e.Machine]++
+		if m.runningOn[e.Machine] > m.slots {
+			m.Violationf("t=%.3f machine %d: %d concurrent attempts exceed %d slots",
+				e.Time, e.Machine, m.runningOn[e.Machine], m.slots)
+		}
+	case TaskFinish, TaskAbort:
+		if !m.machineOK(e) {
+			return
+		}
+		m.runningOn[e.Machine]--
+		if m.runningOn[e.Machine] < 0 {
+			m.Violationf("t=%.3f machine %d: attempt count went negative on %v", e.Time, e.Machine, e.Kind)
+		}
+	case TaskCrash, Corruption, AMFail, AMRestart:
+		// Informational; range-check only.
+		if e.Machine >= 0 {
+			m.machineOK(e)
+		}
+	case MachineDown:
+		if m.machineOK(e) {
+			m.down[e.Machine] = true
+		}
+	case MachineUp:
+		if m.machineOK(e) {
+			m.down[e.Machine] = false
+		}
+	case Blacklist:
+		if m.machineOK(e) {
+			m.blacklisted[e.Machine] = true
+		}
+	case Unblacklist:
+		if m.machineOK(e) {
+			m.blacklisted[e.Machine] = false
+		}
+	case JobDone, JobFail:
+		if prev, ok := m.terminal[e.Job]; ok {
+			m.Violationf("t=%.3f job %d: second terminal event %v (already %v)", e.Time, e.Job, e.Kind, prev)
+		}
+		m.terminal[e.Job] = e.Kind
+		if !m.submitted[e.Job] {
+			m.Violationf("t=%.3f job %d: terminal event %v without submission", e.Time, e.Job, e.Kind)
+		}
+	case Audit:
+		m.Violationf("t=%.3f audit failed: %s", e.Time, e.Detail)
+	case SimEnd:
+		m.ended = true
+		m.finish(e.Time)
+	default:
+		m.Violationf("t=%.3f: unknown event kind %d", e.Time, int(e.Kind))
+	}
+}
+
+// finish runs the end-of-simulation checks: nothing still running, every
+// submitted job terminal.
+func (m *Monitor) finish(at float64) {
+	for mach, n := range m.runningOn {
+		if n != 0 {
+			m.Violationf("t=%.3f machine %d: %d attempts still running at simulation end", at, mach, n)
+		}
+	}
+	// Collect-and-sort: violation order must not depend on map iteration.
+	var jobs []int
+	for j := range m.submitted {
+		jobs = append(jobs, j)
+	}
+	sort.Ints(jobs)
+	for _, j := range jobs {
+		if _, ok := m.terminal[j]; !ok {
+			m.Violationf("t=%.3f job %d: submitted but never reached a terminal state", at, j)
+		}
+	}
+}

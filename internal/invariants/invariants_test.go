@@ -1,0 +1,150 @@
+package invariants
+
+import (
+	"strings"
+	"testing"
+)
+
+func ev(t float64, k Kind, machine, job int) Event {
+	return Event{Time: t, Kind: k, Machine: machine, Job: job}
+}
+
+// TestCleanRunNoViolations: a well-formed lifecycle produces no
+// violations — the monitor must not fire on healthy runs.
+func TestCleanRunNoViolations(t *testing.T) {
+	m := NewMonitor(4, 2)
+	for _, e := range []Event{
+		ev(0, JobSubmit, -1, 1),
+		ev(1, TaskStart, 0, 1),
+		ev(1, TaskStart, 0, 1), // second slot on machine 0
+		ev(2, TaskFinish, 0, 1),
+		ev(2, MachineDown, 3, -1),
+		ev(3, TaskFinish, 0, 1),
+		ev(4, MachineUp, 3, -1),
+		ev(4, TaskStart, 3, 1),
+		ev(5, TaskFinish, 3, 1),
+		ev(5, JobDone, -1, 1),
+		ev(5, SimEnd, -1, -1),
+	} {
+		m.Observe(e)
+	}
+	if n := m.ViolationCount(); n != 0 {
+		t.Fatalf("clean run produced %d violations: %v", n, m.Violations())
+	}
+	if !m.Ended() {
+		t.Fatal("SimEnd not recorded")
+	}
+}
+
+// TestSlotConservation: more concurrent attempts than slots must fire.
+func TestSlotConservation(t *testing.T) {
+	m := NewMonitor(2, 1)
+	m.Observe(ev(0, JobSubmit, -1, 1))
+	m.Observe(ev(1, TaskStart, 0, 1))
+	m.Observe(ev(1, TaskStart, 0, 1))
+	assertViolation(t, m, "exceed 1 slots")
+
+	m2 := NewMonitor(2, 1)
+	m2.Observe(ev(1, TaskFinish, 0, 1))
+	assertViolation(t, m2, "went negative")
+}
+
+// TestDeadAndBlacklistedPlacement: attempts must never start on dead or
+// blacklisted machines.
+func TestDeadAndBlacklistedPlacement(t *testing.T) {
+	m := NewMonitor(2, 2)
+	m.Observe(ev(0, MachineDown, 1, -1))
+	m.Observe(ev(1, TaskStart, 1, 7))
+	assertViolation(t, m, "dead machine 1")
+
+	m2 := NewMonitor(2, 2)
+	m2.Observe(ev(0, Blacklist, 0, -1))
+	m2.Observe(ev(1, TaskStart, 0, 7))
+	assertViolation(t, m2, "blacklisted machine 0")
+
+	// After unblacklist the machine is schedulable again.
+	m3 := NewMonitor(2, 2)
+	m3.Observe(ev(0, Blacklist, 0, -1))
+	m3.Observe(ev(5, Unblacklist, 0, -1))
+	m3.Observe(ev(6, TaskStart, 0, 7))
+	if m3.ViolationCount() != 0 {
+		t.Fatalf("unexpected violations: %v", m3.Violations())
+	}
+}
+
+// TestTimeMonotonicity: a decreasing event time must fire.
+func TestTimeMonotonicity(t *testing.T) {
+	m := NewMonitor(1, 1)
+	m.Observe(ev(5, JobSubmit, -1, 1))
+	m.Observe(ev(4, JobSubmit, -1, 2))
+	assertViolation(t, m, "went backwards")
+}
+
+// TestTerminality: double-terminal and never-terminal jobs must fire.
+func TestTerminality(t *testing.T) {
+	m := NewMonitor(1, 1)
+	m.Observe(ev(0, JobSubmit, -1, 1))
+	m.Observe(ev(1, JobDone, -1, 1))
+	m.Observe(ev(2, JobFail, -1, 1))
+	assertViolation(t, m, "second terminal event")
+
+	m2 := NewMonitor(1, 1)
+	m2.Observe(ev(0, JobSubmit, -1, 1))
+	m2.Observe(ev(0, JobSubmit, -1, 2))
+	m2.Observe(ev(1, JobDone, -1, 1))
+	m2.Observe(ev(2, SimEnd, -1, -1))
+	assertViolation(t, m2, "never reached a terminal state")
+
+	// A failed job is terminal: no violation.
+	m3 := NewMonitor(1, 1)
+	m3.Observe(ev(0, JobSubmit, -1, 3))
+	m3.Observe(ev(1, JobFail, -1, 3))
+	m3.Observe(ev(2, SimEnd, -1, -1))
+	if m3.ViolationCount() != 0 {
+		t.Fatalf("failed-but-terminal job flagged: %v", m3.Violations())
+	}
+}
+
+// TestLeakedAttemptAtEnd: an attempt still running at SimEnd must fire.
+func TestLeakedAttemptAtEnd(t *testing.T) {
+	m := NewMonitor(2, 2)
+	m.Observe(ev(0, JobSubmit, -1, 1))
+	m.Observe(ev(1, TaskStart, 0, 1))
+	m.Observe(ev(2, JobDone, -1, 1))
+	m.Observe(ev(3, SimEnd, -1, -1))
+	assertViolation(t, m, "still running at simulation end")
+}
+
+// TestAuditEvents: external audit failures become violations verbatim.
+func TestAuditEvents(t *testing.T) {
+	m := NewMonitor(1, 1)
+	m.Observe(Event{Time: 3, Kind: Audit, Machine: -1, Job: -1, Detail: "link 4 oversubscribed"})
+	assertViolation(t, m, "link 4 oversubscribed")
+}
+
+// TestViolationCap: the stored list is capped but the count keeps going.
+func TestViolationCap(t *testing.T) {
+	m := NewMonitor(1, 1)
+	for i := 0; i < maxViolations+50; i++ {
+		m.Violationf("v%d", i)
+	}
+	if got := len(m.Violations()); got != maxViolations {
+		t.Fatalf("stored %d violations, want cap %d", got, maxViolations)
+	}
+	if m.ViolationCount() != maxViolations+50 {
+		t.Fatalf("count %d, want %d", m.ViolationCount(), maxViolations+50)
+	}
+}
+
+func assertViolation(t *testing.T, m *Monitor, substr string) {
+	t.Helper()
+	if m.ViolationCount() == 0 {
+		t.Fatalf("expected a violation containing %q, got none", substr)
+	}
+	for _, v := range m.Violations() {
+		if strings.Contains(v, substr) {
+			return
+		}
+	}
+	t.Fatalf("no violation contains %q; got %v", substr, m.Violations())
+}

@@ -39,6 +39,16 @@ func Percentile(values []float64, q float64) float64 {
 	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
+// P50 returns the median. Shorthand for Percentile(values, 0.50).
+func P50(values []float64) float64 { return Percentile(values, 0.50) }
+
+// P95 returns the 95th percentile, the tail metric the paper's Fig 9
+// reports. Shorthand for Percentile(values, 0.95).
+func P95(values []float64) float64 { return Percentile(values, 0.95) }
+
+// P99 returns the 99th percentile. Shorthand for Percentile(values, 0.99).
+func P99(values []float64) float64 { return Percentile(values, 0.99) }
+
 // Mean returns the arithmetic mean, NaN for empty input.
 func Mean(values []float64) float64 {
 	if len(values) == 0 {

@@ -32,6 +32,34 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
+func TestPercentileShorthands(t *testing.T) {
+	// 101 values 0..100: interpolation lands exactly on integers, so the
+	// shorthands must agree with the named ranks.
+	v := make([]float64, 101)
+	for i := range v {
+		v[i] = float64(100 - i) // reversed: order must not matter
+	}
+	if got := P50(v); got != 50 {
+		t.Fatalf("P50 = %g, want 50", got)
+	}
+	if got := P95(v); got != 95 {
+		t.Fatalf("P95 = %g, want 95", got)
+	}
+	if got := P99(v); got != 99 {
+		t.Fatalf("P99 = %g, want 99", got)
+	}
+	for _, f := range []func([]float64) float64{P50, P95, P99} {
+		if !math.IsNaN(f(nil)) {
+			t.Fatal("empty shorthand percentile not NaN")
+		}
+	}
+	// Tail ordering: P50 ≤ P95 ≤ P99 on any input with spread.
+	w := []float64{1, 1, 2, 3, 100}
+	if !(P50(w) <= P95(w) && P95(w) <= P99(w)) {
+		t.Fatalf("percentile ordering violated: p50=%g p95=%g p99=%g", P50(w), P95(w), P99(w))
+	}
+}
+
 func TestMean(t *testing.T) {
 	if got := Mean([]float64{1, 2, 3}); got != 2 {
 		t.Fatalf("mean = %g", got)

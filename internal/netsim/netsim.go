@@ -88,6 +88,12 @@ type Network struct {
 	// effectively instantaneous.
 	LoopbackRate float64
 
+	// OnAllocate, if set, runs after every rate recomputation — the hook
+	// the invariant monitor uses to audit each allocation the moment it is
+	// made (AuditFeasibility). It observes state only; it must not start,
+	// cancel or re-rate flows, and it must be deterministic.
+	OnAllocate func()
+
 	// Accounting.
 	totalCross  float64
 	crossByJob  map[int]float64
@@ -316,6 +322,9 @@ func (n *Network) recompute() {
 	}
 
 	n.policy.Allocate(n.flows, n.caps, n.scratch)
+	if n.OnAllocate != nil {
+		n.OnAllocate()
+	}
 
 	// Next completion.
 	next := math.Inf(1)
@@ -351,6 +360,40 @@ func (n *Network) recompute() {
 		return
 	}
 	n.completionEv = n.sim.After(des.Time(next), n.recompute)
+}
+
+// AuditFeasibility checks the current allocation against the per-link
+// feasibility invariant: no negative rates, and the aggregate rate over
+// each link within capacity (relative slack plus a small absolute epsilon
+// for float rounding). It returns nil when feasible, an error naming the
+// first violation otherwise. Intended to be called from OnAllocate by the
+// invariant monitor.
+func (n *Network) AuditFeasibility(slack float64) error {
+	const absEps = 1e-3 // bytes/sec; rates are O(1e8), rounding is far below
+	load := n.scratchLoad()
+	for _, f := range n.flows {
+		if f.canceled {
+			continue
+		}
+		if f.rate < 0 {
+			return fmt.Errorf("netsim audit: flow %d has negative rate %g", f.ID, f.rate)
+		}
+		for _, l := range f.path {
+			load[l] += f.rate
+		}
+	}
+	for l, sum := range load {
+		if sum > n.caps[l]*(1+slack)+absEps {
+			return fmt.Errorf("netsim audit: link %d carries %g B/s, capacity %g", l, sum, n.caps[l])
+		}
+	}
+	return nil
+}
+
+// scratchLoad returns a zeroed per-link accumulator (reusing the policy
+// scratch buffer is unsafe mid-audit, so this allocates).
+func (n *Network) scratchLoad() []float64 {
+	return make([]float64, len(n.caps))
 }
 
 // LinkBytes returns the bytes carried so far by the given link.

@@ -6,6 +6,7 @@ import (
 
 	"corral/internal/des"
 	"corral/internal/dfs"
+	"corral/internal/invariants"
 	"corral/internal/job"
 	"corral/internal/netsim"
 	"corral/internal/planner"
@@ -30,6 +31,17 @@ type jobExec struct {
 	// job declined waiting for locality.
 	skips      int
 	completion float64
+	// failed marks a terminal failure (attempt or AM budget exhausted);
+	// completion then records the failure time, not a success.
+	failed     bool
+	failReason string
+	// amDown suspends scheduling while the application master is being
+	// restarted; amAttempt is a generation counter that invalidates backoff
+	// requeues armed under a previous AM incarnation. amFailures counts AM
+	// crashes against Options.MaxAMAttempts.
+	amDown     bool
+	amAttempt  int
+	amFailures int
 
 	taskSeconds   float64
 	reduceSeconds []float64
@@ -96,14 +108,20 @@ type stageExec struct {
 	mapsOnMachine map[int]int
 	mapsOnRack    []int
 
-	pendingReduces int
+	// maps holds every map task (index order) so AM restart can audit which
+	// completed outputs survive; the locality indexes above only hold the
+	// pending subset.
+	maps []*mapTask
+
+	// reduces holds every reduce task (index order); reduceQ is the pending
+	// queue dispatch pops from. Attempts are interchangeable in placement,
+	// but identity matters for the per-task attempt budget and AM-restart
+	// recovery.
+	reduces        []*reduceTask
+	reduceQ        []*reduceTask
 	reducesDone    int
 	reduceMachines []int // where completed tasks ran (for downstream input)
 	coflow         netsim.CoflowID
-	// speculatedReduces counts reduce attempts killed by the speculation
-	// watchdog; the next pendingReduces launches consume one each and run
-	// as the nominal-speed backup copy (reduce attempts are fungible).
-	speculatedReduces int
 }
 
 // mapTask is one pending map with its locality preference.
@@ -116,6 +134,19 @@ type mapTask struct {
 	// speculated marks a task whose attempt was killed by the speculation
 	// watchdog: the relaunch runs at nominal speed with no watchdog.
 	speculated bool
+	// attempts counts crashed attempts against Options.MaxTaskAttempts.
+	attempts int
+	// doneOn records the machine of the completed attempt (-1 while
+	// pending); AM restart reuses outputs whose machine is still alive.
+	doneOn int
+}
+
+// reduceTask is one logical reduce task with its attempt history.
+type reduceTask struct {
+	index      int
+	attempts   int
+	speculated bool
+	doneOn     int // machine of the completed attempt, -1 while pending
 }
 
 // nodeLocal reports whether machine m holds the task's input.
@@ -138,6 +169,7 @@ func (t *mapTask) nodeLocal(rt *runtime, m int) bool {
 // pile onto the same racks, the pathology §6.2 describes.
 func (rt *runtime) submit(je *jobExec) {
 	je.submitted = true
+	rt.probe(invariants.JobSubmit, -1, je.job.ID)
 	je.racksTouched = make(map[int]bool)
 	if rt.opts.Scheduler == ShuffleWatcher && !je.job.AdHoc {
 		je.allowedRacks = rt.shuffleWatcherRacks(je)
@@ -224,7 +256,8 @@ func (rt *runtime) startStage(st *stageExec) {
 	perMap := p.InputBytes / float64(p.MapTasks)
 
 	for i := 0; i < p.MapTasks; i++ {
-		t := &mapTask{index: i, bytes: perMap, srcMachine: -1}
+		t := &mapTask{index: i, bytes: perMap, srcMachine: -1, doneOn: -1}
+		st.maps = append(st.maps, t)
 		switch {
 		case st.inputFile != nil && len(st.inputFile.Blocks) > 0:
 			bi := i * len(st.inputFile.Blocks) / p.MapTasks
@@ -254,32 +287,59 @@ func (rt *runtime) startStage(st *stageExec) {
 // replicaClosest returns the cheapest live source for the task's input as
 // read from machine m: node-local, then rack-local, then a remote replica
 // whose rack uplink is not failed, then any live replica (the read parks
-// until the uplink recovers).
+// until the uplink recovers). Corrupt replicas are checksum-detected at
+// read time: they are skipped (the read fails over to the next-closest
+// clean copy) and handed to the re-replication daemon. If every live
+// replica is corrupt the read falls back to liveness-only selection — the
+// client retry loop eventually succeeds against a repaired copy, and
+// modelling that stall would add nothing the repair latency doesn't.
 func (rt *runtime) replicaClosest(t *mapTask, m int) int {
 	if t.blk == nil {
 		return t.srcMachine
 	}
-	for _, r := range t.blk.Replicas {
-		if r == m && !rt.dead[r] {
-			return r
+	corruptSeen := false
+	usable := func(r int) bool {
+		if rt.dead[r] {
+			return false
+		}
+		if rt.store.ReplicaCorrupt(t.blk, r) {
+			corruptSeen = true
+			return false
+		}
+		return true
+	}
+	src := -1
+	pickTiers := func(ok func(int) bool) int {
+		for _, r := range t.blk.Replicas {
+			if r == m && ok(r) {
+				return r
+			}
+		}
+		for _, r := range t.blk.Replicas {
+			if ok(r) && rt.cluster.SameRack(r, m) {
+				return r
+			}
+		}
+		for _, r := range t.blk.Replicas {
+			if ok(r) && rt.rackLinkFactor[rt.cluster.RackOf(r)] > 0 {
+				return r
+			}
+		}
+		for _, r := range t.blk.Replicas {
+			if ok(r) {
+				return r
+			}
+		}
+		return -1
+	}
+	src = pickTiers(usable)
+	if corruptSeen {
+		rt.detectCorruption(t.blk)
+		if src < 0 {
+			src = pickTiers(func(r int) bool { return !rt.dead[r] })
 		}
 	}
-	for _, r := range t.blk.Replicas {
-		if !rt.dead[r] && rt.cluster.SameRack(r, m) {
-			return r
-		}
-	}
-	for _, r := range t.blk.Replicas {
-		if !rt.dead[r] && rt.rackLinkFactor[rt.cluster.RackOf(r)] > 0 {
-			return r
-		}
-	}
-	for _, r := range t.blk.Replicas {
-		if !rt.dead[r] {
-			return r
-		}
-	}
-	return -1
+	return src
 }
 
 // taskStarted/taskEnded maintain the queue-share accounting.
@@ -308,7 +368,8 @@ func (rt *runtime) runMap(st *stageExec, t *mapTask, m int) {
 	rt.freeSlots[m]--
 	rt.taskStarted(je)
 	je.racksTouched[rt.cluster.RackOf(m)] = true
-	tk := rt.track(je, st, t, m)
+	tk := rt.track(je, st, t, nil, m)
+	rt.armCrash(tk, t.bytes/st.profile.MapRate)
 
 	src := rt.replicaClosest(t, m)
 	compute := func() {
@@ -317,9 +378,11 @@ func (rt *runtime) runMap(st *stageExec, t *mapTask, m int) {
 		tk.after(rt, des.Time(dur), func() {
 			tk.done = true
 			rt.finishTracking(tk)
+			rt.probe(invariants.TaskFinish, m, je.job.ID)
 			je.taskSeconds += float64(rt.sim.Now() - tk.started)
 			rt.freeSlots[m]++
 			rt.taskEnded(je)
+			t.doneOn = m
 			st.mapsDone++
 			st.mapsOnMachine[m]++
 			st.mapsOnRack[rt.cluster.RackOf(m)]++
@@ -369,35 +432,44 @@ func (rt *runtime) finishMapsPhase(st *stageExec) {
 		return
 	}
 	st.phase = stageReducing
-	st.pendingReduces = st.profile.ReduceTasks
+	// (Re)build the reduce set: fresh on the first transition, and again
+	// when an AM restart rewound the stage to mapping after losing map
+	// outputs — the shuffle must be re-fed, so reduces restart too.
+	st.reduces = st.reduces[:0]
+	st.reduceQ = st.reduceQ[:0]
+	st.reducesDone = 0
+	for i := 0; i < st.profile.ReduceTasks; i++ {
+		rT := &reduceTask{index: i, doneOn: -1}
+		st.reduces = append(st.reduces, rT)
+		st.reduceQ = append(st.reduceQ, rT)
+	}
 	rt.requestDispatch()
 }
 
-// runReduce executes one reduce task on machine m: rack-aggregated shuffle
-// fetch, compute at B_R, then a replicated output write for terminal
-// stages. The attempt is tracked so failures and speculation can abort it.
-func (rt *runtime) runReduce(st *stageExec, m int) {
+// runReduce executes one attempt of reduce task rT on machine m: rack-
+// aggregated shuffle fetch, compute at B_R, then a replicated output write
+// for terminal stages. The attempt is tracked so failures and speculation
+// can abort it.
+func (rt *runtime) runReduce(st *stageExec, rT *reduceTask, m int) {
 	je := st.je
 	rt.freeSlots[m]--
 	rt.taskStarted(je)
 	je.racksTouched[rt.cluster.RackOf(m)] = true
-	tk := rt.track(je, st, nil, m)
-	if st.speculatedReduces > 0 {
-		// This launch is the backup copy for a watchdog-killed attempt.
-		st.speculatedReduces--
-		tk.noSpec = true
-	}
+	tk := rt.track(je, st, nil, rT, m)
 	p := st.profile
 	perReduce := p.ShuffleBytes / float64(p.ReduceTasks)
+	rt.armCrash(tk, p.OutputBytes/float64(p.ReduceTasks)/p.ReduceRate)
 
 	finish := func() {
 		tk.done = true
 		rt.finishTracking(tk)
+		rt.probe(invariants.TaskFinish, m, je.job.ID)
 		dur := float64(rt.sim.Now() - tk.started)
 		je.taskSeconds += dur
 		je.reduceSeconds = append(je.reduceSeconds, dur)
 		rt.freeSlots[m]++
 		rt.taskEnded(je)
+		rT.doneOn = m
 		st.reduceMachines = append(st.reduceMachines, m)
 		st.reducesDone++
 		if st.reducesDone == p.ReduceTasks {
@@ -556,6 +628,7 @@ func (rt *runtime) finishStage(st *stageExec) {
 	if je.stagesLeft == 0 {
 		je.completion = float64(rt.sim.Now())
 		rt.active--
+		rt.probe(invariants.JobDone, -1, je.job.ID)
 		rt.requestDispatch()
 		return
 	}

@@ -42,6 +42,7 @@ import (
 	"math"
 
 	"corral/internal/des"
+	"corral/internal/invariants"
 	"corral/internal/netsim"
 )
 
@@ -69,7 +70,8 @@ type LinkFault struct {
 type runningTask struct {
 	je       *jobExec
 	st       *stageExec
-	mapT     *mapTask // nil for reduce attempts
+	mapT     *mapTask    // nil for reduce attempts
+	redT     *reduceTask // nil for map attempts
 	machine  int
 	started  des.Time
 	aborted  bool
@@ -80,13 +82,14 @@ type runningTask struct {
 	flows    []*netsim.Flow
 }
 
-// track registers a new running attempt.
-func (rt *runtime) track(je *jobExec, st *stageExec, t *mapTask, m int) *runningTask {
-	tk := &runningTask{je: je, st: st, mapT: t, machine: m, started: rt.sim.Now()}
-	if t != nil && t.speculated {
+// track registers a new running attempt (exactly one of t, rT is set).
+func (rt *runtime) track(je *jobExec, st *stageExec, t *mapTask, rT *reduceTask, m int) *runningTask {
+	tk := &runningTask{je: je, st: st, mapT: t, redT: rT, machine: m, started: rt.sim.Now()}
+	if (t != nil && t.speculated) || (rT != nil && rT.speculated) {
 		tk.noSpec = true
 	}
 	rt.running[m] = append(rt.running[m], tk)
+	rt.probe(invariants.TaskStart, m, je.job.ID)
 	return tk
 }
 
@@ -130,10 +133,19 @@ func (tk *runningTask) flow(rt *runtime, start func(done func(*netsim.Flow)) *ne
 	tk.flows = append(tk.flows, f)
 }
 
-// abort cancels the attempt's timers and flows and requeues its work.
-// freeSlot controls whether the slot is returned (false when the machine
-// itself died).
+// abort cancels the attempt's timers and flows and requeues its work
+// immediately. freeSlot controls whether the slot is returned (false when
+// the machine itself died).
 func (rt *runtime) abort(tk *runningTask, freeSlot bool) {
+	rt.abortTask(tk, freeSlot, 0)
+}
+
+// abortTask cancels the attempt's timers and flows. requeueDelay controls
+// what happens to the work: negative drops it (the job is failing
+// terminally or an AM restart will rebuild the stage), zero requeues it
+// now, positive requeues it after a retry backoff. A delayed requeue is
+// voided if the job reaches a terminal state — or restarts its AM — first.
+func (rt *runtime) abortTask(tk *runningTask, freeSlot bool, requeueDelay des.Time) {
 	if tk.aborted || tk.done {
 		return
 	}
@@ -146,14 +158,31 @@ func (rt *runtime) abort(tk *runningTask, freeSlot bool) {
 	}
 	rt.finishTracking(tk)
 	rt.taskEnded(tk.je)
+	rt.probe(invariants.TaskAbort, tk.machine, tk.je.job.ID)
 	if freeSlot {
 		rt.freeSlots[tk.machine]++
 	}
-	// Requeue the work.
-	if tk.mapT != nil {
-		rt.requeueMap(tk.st, tk.mapT)
+	if requeueDelay < 0 {
+		rt.requestDispatch()
+		return
+	}
+	je, st := tk.je, tk.st
+	gen := je.amAttempt
+	requeue := func() {
+		if je.done() || je.amDown || je.amAttempt != gen {
+			return
+		}
+		if tk.mapT != nil {
+			rt.requeueMap(st, tk.mapT)
+		} else {
+			st.reduceQ = append(st.reduceQ, tk.redT)
+		}
+		rt.requestDispatch()
+	}
+	if requeueDelay > 0 {
+		rt.sim.After(requeueDelay, requeue)
 	} else {
-		tk.st.pendingReduces++
+		requeue()
 	}
 	rt.requestDispatch()
 }
@@ -216,6 +245,7 @@ func (rt *runtime) recoverMachine(m int) {
 	}
 	rt.dead[m] = false
 	rt.deadCount--
+	rt.probe(invariants.MachineUp, m, -1)
 	rt.freeSlots[m] = rt.cluster.Config.SlotsPerMachine
 	rt.recoverAt[m] = math.Inf(1)
 	rt.store.MachineUp(m)
@@ -232,6 +262,7 @@ func (rt *runtime) failMachine(m int) {
 	}
 	rt.dead[m] = true
 	rt.deadCount++
+	rt.probe(invariants.MachineDown, m, -1)
 	rt.freeSlots[m] = 0
 	if math.IsInf(rt.recoverAt[m], 1) || rt.recoverAt[m] <= float64(rt.sim.Now()) {
 		rt.recoverAt[m] = math.Inf(1)
@@ -389,7 +420,7 @@ func (rt *runtime) abortSpeculative(tk *runningTask) {
 	if tk.mapT != nil {
 		tk.mapT.speculated = true
 	} else {
-		tk.st.speculatedReduces++
+		tk.redT.speculated = true
 	}
 	rt.abort(tk, true)
 }

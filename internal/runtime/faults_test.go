@@ -298,8 +298,8 @@ func TestReReplicationRestoresSpread(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	input := rtClean.store.Open("job1-stage0-input")
-	if input == nil || len(input.Blocks) == 0 {
+	input, ok := rtClean.store.Open("job1-stage0-input")
+	if !ok || len(input.Blocks) == 0 {
 		t.Fatal("input file missing")
 	}
 	victim := input.Blocks[0].Replicas[0]
@@ -332,7 +332,10 @@ func TestReReplicationRestoresSpread(t *testing.T) {
 		t.Fatalf("netsim byte delta %g != repair bytes %g", delta, resFail.RepairBytes)
 	}
 
-	file := rtFail.store.Open("job1-stage0-input")
+	file, ok := rtFail.store.Open("job1-stage0-input")
+	if !ok {
+		t.Fatal("input file missing after failure run")
+	}
 	for i := range file.Blocks {
 		b := &file.Blocks[i]
 		if len(b.Replicas) != 3 {

@@ -28,6 +28,7 @@ import (
 
 	"corral/internal/des"
 	"corral/internal/dfs"
+	"corral/internal/invariants"
 	"corral/internal/job"
 	"corral/internal/netsim"
 	"corral/internal/planner"
@@ -139,6 +140,53 @@ type Options struct {
 	// DFS pipeline, removing write traffic while shuffles still use the
 	// network.
 	InMemoryInput bool
+
+	// TaskFailureProb is the per-attempt probability of an injected
+	// transient task crash (container lost, JVM OOM, disk hiccup). A
+	// crashed attempt counts against the task's attempt budget and is
+	// requeued after a deterministic exponential backoff. Zero disables
+	// injection.
+	TaskFailureProb float64
+	// MaxTaskAttempts is the per-task attempt budget (default 4, YARN's
+	// mapreduce.map/reduce.maxattempts). A task that crashes this many
+	// times fails its job terminally (JobResult.Failed).
+	MaxTaskAttempts int
+	// RetryBackoff is the base retry delay in seconds (default 1): a
+	// task's k-th crash waits RetryBackoff·2^(k−1) before the task
+	// re-enters the pending queues.
+	RetryBackoff float64
+	// BlacklistThreshold is how many failed attempts a machine accumulates
+	// before it is blacklisted out of the slot pool and delay-scheduling
+	// consideration (default 3, YARN's node-blacklisting threshold;
+	// negative disables blacklisting).
+	BlacklistThreshold int
+	// BlacklistCooldown is how long in seconds a blacklisted machine sits
+	// out (default 30). It rejoins with its failure count reset, via the
+	// OnMachineRepair hook — the same path transient machine recoveries
+	// take.
+	BlacklistCooldown float64
+	// AMFailures kills job application masters at points in simulated
+	// time. The job's running attempts are lost; a restarted AM attempt
+	// (capped by MaxAMAttempts) reuses completed map outputs that survive
+	// on live machines and recomputes the rest, preserving the plan's rack
+	// commitments.
+	AMFailures []AMFailure
+	// MaxAMAttempts caps application-master attempts per job (default 2,
+	// YARN's yarn.resourcemanager.am.max-attempts): the MaxAMAttempts-th
+	// AM failure fails the job terminally.
+	MaxAMAttempts int
+	// AMRestartDelay is the resource-manager relaunch delay in seconds
+	// between an AM failure and the restarted attempt (default 5).
+	AMRestartDelay float64
+	// Corruptions silently corrupt one DFS block replica on a machine at a
+	// simulated time. Reads checksum-detect corruption, fail over to the
+	// next-closest clean replica, and hand the bad replica to the
+	// re-replication daemon (counted in Result.RepairBytes).
+	Corruptions []Corruption
+	// Probe, if set, receives runtime lifecycle events for invariant
+	// monitoring (see internal/invariants). It runs inside the simulation;
+	// it must be deterministic and must not call back into the runtime.
+	Probe invariants.Probe
 }
 
 // JobResult captures per-job outcomes.
@@ -154,6 +202,10 @@ type JobResult struct {
 	TaskSeconds    float64 // Σ task wall-clock times ("compute hours")
 	ReduceSeconds  []float64
 	RacksUsed      int
+	// Failed marks a terminal failure (task attempt budget or AM attempt
+	// budget exhausted). Completion then records the failure time.
+	Failed     bool
+	FailReason string
 }
 
 // AvgReduceTime returns the mean reduce-task duration (Fig 7c metric), or
@@ -184,6 +236,9 @@ type Result struct {
 	RepairBytes float64
 	// Replans counts failure-triggered planner re-invocations.
 	Replans int
+	// FailedJobs counts jobs that ended in terminal failure rather than
+	// completion (attempt budgets exhausted under attrition).
+	FailedJobs int
 }
 
 // AvgCompletionTime returns the mean of per-job completion times.
@@ -230,6 +285,13 @@ type runtime struct {
 	deadCount    int
 	running      map[int][]*runningTask
 	machineOrder []int // heartbeat visit order, reshuffled per pass
+
+	// Attrition state: blacklisted machines keep their slots but receive
+	// no new attempts until the cooldown expires; machineFailures counts
+	// failed attempts per machine toward BlacklistThreshold.
+	blacklisted     []bool
+	machineFailures []int
+	failedJobs      int
 
 	// Fault state.
 	rackLinkFactor []float64 // current uplink/downlink scale per rack
@@ -288,10 +350,31 @@ func newRuntime(opts Options, jobs []*job.Job) (*runtime, error) {
 	if opts.SpeculationThreshold <= 1 {
 		opts.SpeculationThreshold = 2
 	}
+	if opts.MaxTaskAttempts <= 0 {
+		opts.MaxTaskAttempts = 4
+	}
+	if opts.RetryBackoff <= 0 {
+		opts.RetryBackoff = 1
+	}
+	if opts.BlacklistThreshold == 0 {
+		opts.BlacklistThreshold = 3
+	}
+	if opts.BlacklistCooldown <= 0 {
+		opts.BlacklistCooldown = 30
+	}
+	if opts.MaxAMAttempts <= 0 {
+		opts.MaxAMAttempts = 2
+	}
+	if opts.AMRestartDelay <= 0 {
+		opts.AMRestartDelay = 5
+	}
 	if err := validateFailures(opts.Failures, cluster.Config.Machines()); err != nil {
 		return nil, err
 	}
 	if err := validateLinkFaults(opts.LinkFaults, cluster.Config.Racks); err != nil {
+		return nil, err
+	}
+	if err := validateAttrition(opts, cluster.Config.Machines()); err != nil {
 		return nil, err
 	}
 	if opts.RemoteStorageInput {
@@ -325,6 +408,17 @@ func newRuntime(opts Options, jobs []*job.Job) (*runtime, error) {
 		rt.freeSlots[i] = cluster.Config.SlotsPerMachine
 		rt.machineOrder[i] = i
 	}
+	rt.blacklisted = make([]bool, m)
+	rt.machineFailures = make([]int, m)
+	if opts.Probe != nil {
+		// Audit the bandwidth allocator after every recompute: any negative
+		// or capacity-infeasible rate becomes an invariant violation.
+		rt.net.OnAllocate = func() {
+			if err := rt.net.AuditFeasibility(1e-6); err != nil {
+				rt.probeAudit(err)
+			}
+		}
+	}
 	rt.rackLinkFactor = make([]float64, cluster.Config.Racks)
 	for i := range rt.rackLinkFactor {
 		rt.rackLinkFactor[i] = 1
@@ -342,6 +436,7 @@ func newRuntime(opts Options, jobs []*job.Job) (*runtime, error) {
 			rt.dead[f] = true
 			rt.deadCount++
 			rt.freeSlots[f] = 0
+			rt.probe(invariants.MachineDown, f, -1)
 			// Dead from time zero: no data was ever on them to repair, but
 			// the store must know not to place or read replicas there.
 			rt.store.MachineDown(f)
@@ -473,7 +568,25 @@ func (rt *runtime) run() (*Result, error) {
 		lf := lf
 		rt.sim.At(des.Time(lf.At), func() { rt.applyLinkFault(lf) })
 	}
+	for _, af := range rt.opts.AMFailures {
+		af := af
+		rt.sim.At(des.Time(af.At), func() { rt.failAM(af.JobID) })
+	}
+	for _, c := range rt.opts.Corruptions {
+		c := c
+		rt.sim.At(des.Time(c.At), func() { rt.applyCorruption(c) })
+	}
 	rt.sim.Run()
+
+	if rt.opts.Probe != nil {
+		// Final audits: incremental DFS accounting must agree with a from-
+		// scratch recount, then the monitor runs its end-of-simulation
+		// checks (no leaked attempts, every job terminal).
+		if err := rt.store.AuditAccounting(); err != nil {
+			rt.probeAudit(err)
+		}
+		rt.probe(invariants.SimEnd, -1, -1)
+	}
 
 	res := &Result{
 		Scheduler:      rt.opts.Scheduler,
@@ -482,6 +595,7 @@ func (rt *runtime) run() (*Result, error) {
 		Events:         rt.sim.Fired(),
 		RepairBytes:    rt.repairBytes,
 		Replans:        rt.replans,
+		FailedJobs:     rt.failedJobs,
 	}
 	for _, je := range rt.jobs {
 		if je.completion < 0 {
@@ -499,6 +613,8 @@ func (rt *runtime) run() (*Result, error) {
 			TaskSeconds:    je.taskSeconds,
 			ReduceSeconds:  je.reduceSeconds,
 			RacksUsed:      len(je.racksTouched),
+			Failed:         je.failed,
+			FailReason:     je.failReason,
 		}
 		res.Jobs = append(res.Jobs, jr)
 		res.TaskSeconds += jr.TaskSeconds

@@ -50,7 +50,7 @@ func (rt *runtime) dispatch() {
 		assigned := false
 		rt.shuffleMachineOrder()
 		for _, m := range rt.machineOrder {
-			if rt.dead[m] {
+			if rt.dead[m] || rt.blacklisted[m] {
 				continue
 			}
 			for rt.freeSlots[m] > 0 && rt.offerSlot(m) {
@@ -96,7 +96,7 @@ func (rt *runtime) offerSlot(m int) bool {
 func (rt *runtime) offerSlotTo(m int, filter func(*jobExec) bool) bool {
 	rack := rt.cluster.RackOf(m)
 	for _, je := range rt.byOrder {
-		if !je.submitted || je.done() {
+		if !je.submitted || je.done() || je.amDown {
 			continue
 		}
 		if filter != nil && !filter(je) {
@@ -134,9 +134,10 @@ func (rt *runtime) offerSlotTo(m int, filter func(*jobExec) bool) bool {
 		}
 		// 3) Reduce tasks (no soft locality; constraints already applied).
 		for _, st := range je.stages {
-			if st.phase == stageReducing && st.pendingReduces > 0 {
-				st.pendingReduces--
-				rt.runReduce(st, m)
+			if st.phase == stageReducing && len(st.reduceQ) > 0 {
+				rT := st.reduceQ[len(st.reduceQ)-1]
+				st.reduceQ = st.reduceQ[:len(st.reduceQ)-1]
+				rt.runReduce(st, rT, m)
 				return true
 			}
 		}

@@ -1,12 +1,20 @@
-# Mirrors .github/workflows/ci.yml: `make check` is the full tier-1 gate
-# locally, in the same order CI runs it.
+# Mirrors .github/workflows/ci.yml: `make ci-local` runs the same gates as
+# the CI job matrix (fast-gate, test, race, chaos-fuzz, bench-regression),
+# serially. `make check` is the historical alias without the bench gate.
 
 GO ?= go
 
-.PHONY: check build vet fmt-check test race corralvet chaos fuzz bench
+.PHONY: check ci-local fast-gate build vet fmt-check test race corralvet \
+	chaos fuzz bench bench-compare
 
 check: build vet fmt-check test race corralvet chaos fuzz
 	@echo "check: all gates passed"
+
+# One target per CI job, in the workflow's job order.
+ci-local: fast-gate test race chaos fuzz bench-compare
+	@echo "ci-local: all CI jobs passed"
+
+fast-gate: build vet fmt-check corralvet
 
 build:
 	$(GO) build ./...
@@ -45,7 +53,20 @@ chaos:
 fuzz:
 	$(GO) test ./internal/experiments -run 'TestFuzz|TestAttritionSweep' -count=1 -v
 
-# Perf baseline: every benchmark once on the fast "s" profile, captured
-# as machine-readable JSON for trajectory tracking.
+# Perf baseline: every benchmark once on the fast "s" profile — the
+# experiment harness in the repo root plus the netsim allocator
+# micro-benchmarks — captured as machine-readable JSON for trajectory
+# tracking. Rerun this (and commit the result) whenever a semantic metric
+# or the benchmark set intentionally changes.
 bench:
-	$(GO) test -run '^$$' -bench . -benchtime 1x . | $(GO) run ./cmd/corralbench -o BENCH_baseline.json
+	$(GO) test -run '^$$' -bench . -benchtime 1x . ./internal/netsim \
+		| $(GO) run ./cmd/corralbench -o BENCH_baseline.json
+
+# Benchmark-regression gate: rerun the same benchmarks and diff against
+# the committed baseline. Semantic metrics must match bit for bit;
+# timing metrics (ns/op, B/op, ...) are machine-dependent and only warn
+# past the tolerance. The fresh JSON lands in bench-fresh.json (uploaded
+# as a CI artifact) for inspection.
+bench-compare:
+	$(GO) test -run '^$$' -bench . -benchtime 1x . ./internal/netsim \
+		| $(GO) run ./cmd/corralbench -o bench-fresh.json -compare BENCH_baseline.json -tol 50

@@ -179,6 +179,46 @@ func BenchmarkSimulateSmallBatch(b *testing.B) {
 	}
 }
 
+// Sweep wall-clock benchmarks. The chaos and fuzz experiments fan their
+// independent cells (intensity x scheduler, fuzz traces) out over the
+// experiment worker pool; the Serial/Parallel pairs capture the wall-clock
+// effect of the pool. Only ns/op is reported — the parallel-sweep
+// determinism tests prove the Reports are bit-identical for any worker
+// count, so there is no semantic metric to track here.
+
+func benchChaosSweep(b *testing.B, workers int) {
+	b.Helper()
+	corral.SetSweepWorkers(workers)
+	defer corral.SetSweepWorkers(0)
+	size := benchSize(b)
+	intensities := []float64{0.2, 0.4, 0.6}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := corral.RunChaosExperiment(size, 1, intensities); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChaosSweepSerial(b *testing.B)   { benchChaosSweep(b, 1) }
+func BenchmarkChaosSweepParallel(b *testing.B) { benchChaosSweep(b, 0) }
+
+func benchFuzzSweep(b *testing.B, workers int) {
+	b.Helper()
+	corral.SetSweepWorkers(workers)
+	defer corral.SetSweepWorkers(0)
+	size := benchSize(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := corral.RunFuzzExperiment(size, 1, 6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFuzzSweepSerial(b *testing.B)   { benchFuzzSweep(b, 1) }
+func BenchmarkFuzzSweepParallel(b *testing.B) { benchFuzzSweep(b, 0) }
+
 func BenchmarkExtRemoteStorage(b *testing.B) {
 	benchExperiment(b, "ext-remote", "makespan_reduction_pct")
 }

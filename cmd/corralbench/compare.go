@@ -1,0 +1,175 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+)
+
+// Comparison semantics (-compare mode):
+//
+// A benchmark run carries two kinds of metrics. Timing/allocation metrics
+// (ns/op, B/op, allocs/op, MB/s) depend on the machine the run happened on,
+// so they can never gate CI; they are compared against -tol and reported as
+// advisory warnings only. Every other metric is a semantic outcome
+// republished from an experiment report (prediction MAPE, LP gap,
+// cross-rack fractions, ...). Those are pure functions of the seed and
+// experiment size — machine-independent — so they must match the baseline
+// bit for bit: any drift means the simulation's behavior changed and the
+// baseline must be consciously regenerated with `make bench`.
+//
+// Machine-dependent envelope fields (goos, goarch, cpu) and per-benchmark
+// procs/iterations are ignored entirely.
+var advisoryMetrics = map[string]bool{
+	"ns/op":     true,
+	"B/op":      true,
+	"allocs/op": true,
+	"MB/s":      true,
+}
+
+// driftReport separates hard failures (semantic drift, missing/extra
+// benchmarks or metrics) from advisory warnings (timing drift beyond -tol).
+type driftReport struct {
+	Failures []string
+	Warnings []string
+	Compared int // benchmarks matched on both sides
+}
+
+func (r *driftReport) failf(format string, args ...any) {
+	r.Failures = append(r.Failures, fmt.Sprintf(format, args...))
+}
+
+func (r *driftReport) warnf(format string, args ...any) {
+	r.Warnings = append(r.Warnings, fmt.Sprintf(format, args...))
+}
+
+// loadBaseline reads a Baseline previously written by this tool.
+func loadBaseline(path string) (*Baseline, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	b := &Baseline{}
+	if err := json.Unmarshal(buf, b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return b, nil
+}
+
+// benchKey keys a benchmark by (pkg, name) so same-named benchmarks from
+// different packages in a multi-package run stay distinct. Baselines written
+// before per-benchmark pkg tracking have no pkg on any entry; when one side
+// is such a legacy file, both sides fall back to name-only keys.
+func keyed(b *Baseline, usePkg bool) map[string]*Benchmark {
+	m := make(map[string]*Benchmark, len(b.Benchmarks))
+	for i := range b.Benchmarks {
+		bm := &b.Benchmarks[i]
+		k := bm.Name
+		if usePkg {
+			k = bm.Pkg + "\x00" + bm.Name
+		}
+		m[k] = bm
+	}
+	return m
+}
+
+func hasPerBenchPkg(b *Baseline) bool {
+	for i := range b.Benchmarks {
+		if b.Benchmarks[i].Pkg != "" {
+			return true
+		}
+	}
+	return false
+}
+
+func displayName(bm *Benchmark) string {
+	if bm.Pkg != "" {
+		return bm.Pkg + "." + bm.Name
+	}
+	return bm.Name
+}
+
+// compareBaselines diffs a fresh run against the committed baseline.
+func compareBaselines(old, fresh *Baseline, tolPct float64) *driftReport {
+	rep := &driftReport{}
+	usePkg := hasPerBenchPkg(old) && hasPerBenchPkg(fresh)
+	oldBy, freshBy := keyed(old, usePkg), keyed(fresh, usePkg)
+
+	keys := make([]string, 0, len(oldBy))
+	for k := range oldBy {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		ob := oldBy[k]
+		fb, ok := freshBy[k]
+		if !ok {
+			rep.failf("benchmark %s is in the baseline but missing from this run", displayName(ob))
+			continue
+		}
+		rep.Compared++
+		compareMetrics(rep, ob, fb, tolPct)
+	}
+
+	extra := make([]string, 0)
+	for k, fb := range freshBy {
+		if _, ok := oldBy[k]; !ok {
+			extra = append(extra, displayName(fb))
+		}
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		rep.failf("benchmark %s is new (not in the baseline; refresh it with `make bench`)", name)
+	}
+	return rep
+}
+
+func compareMetrics(rep *driftReport, ob, fb *Benchmark, tolPct float64) {
+	name := displayName(ob)
+	units := make([]string, 0, len(ob.Metrics))
+	for u := range ob.Metrics {
+		units = append(units, u)
+	}
+	sort.Strings(units)
+	for _, u := range units {
+		want := ob.Metrics[u]
+		got, ok := fb.Metrics[u]
+		if !ok {
+			rep.failf("%s: metric %q is in the baseline but missing from this run", name, u)
+			continue
+		}
+		if advisoryMetrics[u] {
+			if pct := driftPct(want, got); pct > tolPct {
+				rep.warnf("%s: %s drifted %.1f%% (baseline %v, got %v; advisory, tol %.1f%%)",
+					name, u, pct, want, got, tolPct)
+			}
+			continue
+		}
+		// Semantic metrics are deterministic simulation outcomes: exact
+		// bit equality, not an epsilon test.
+		if math.Float64bits(got) != math.Float64bits(want) {
+			rep.failf("%s: semantic metric %s changed: baseline %v, got %v (delta %+g)",
+				name, u, want, got, got-want)
+		}
+	}
+	for u := range fb.Metrics {
+		if _, ok := ob.Metrics[u]; !ok {
+			rep.failf("%s: metric %q is new (not in the baseline; refresh it with `make bench`)", name, u)
+		}
+	}
+}
+
+// driftPct is the relative drift of got from want, in percent. A zero
+// baseline with a nonzero result counts as infinite drift.
+func driftPct(want, got float64) float64 {
+	diff := math.Abs(got - want)
+	if diff == 0 { //corralvet:ok floateq exact no-drift short-circuit
+		return 0
+	}
+	if want == 0 { //corralvet:ok floateq guard before dividing by a zero baseline
+		return math.Inf(1)
+	}
+	return diff / math.Abs(want) * 100
+}

@@ -1,0 +1,174 @@
+package main
+
+import (
+	"bufio"
+	"math"
+	"strings"
+	"testing"
+)
+
+const multiPkgSample = `goos: linux
+goarch: amd64
+pkg: corral
+cpu: Some CPU @ 2.40GHz
+BenchmarkFig6_BatchMakespan-8   	       1	  27284100 ns/op	        12.30 makespan_reduction_pct
+pkg: corral/internal/netsim
+BenchmarkRecomputeGrouped10k-8  	    1000	    700000 ns/op	       0 B/op	       0 allocs/op
+PASS
+`
+
+func mustParse(t *testing.T, s string) *Baseline {
+	t.Helper()
+	b, err := parse(bufio.NewScanner(strings.NewReader(s)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestParseTracksPerBenchmarkPkg(t *testing.T) {
+	b := mustParse(t, multiPkgSample)
+	if len(b.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(b.Benchmarks))
+	}
+	if got := b.Benchmarks[0].Pkg; got != "corral" {
+		t.Errorf("first benchmark pkg = %q, want corral", got)
+	}
+	if got := b.Benchmarks[1].Pkg; got != "corral/internal/netsim" {
+		t.Errorf("second benchmark pkg = %q, want corral/internal/netsim", got)
+	}
+	// Envelope keeps the first pkg header for backward compatibility.
+	if b.Pkg != "corral" {
+		t.Errorf("envelope pkg = %q, want corral", b.Pkg)
+	}
+}
+
+func bench(pkg, name string, metrics map[string]float64) Benchmark {
+	return Benchmark{Name: name, Pkg: pkg, Iterations: 1, Metrics: metrics}
+}
+
+func TestCompareIdenticalBaselines(t *testing.T) {
+	mk := func() *Baseline {
+		return &Baseline{Benchmarks: []Benchmark{
+			bench("corral", "Fig6", map[string]float64{"ns/op": 100, "makespan_reduction_pct": 12.3}),
+			bench("corral/internal/netsim", "Recompute", map[string]float64{"ns/op": 700, "allocs/op": 0}),
+		}}
+	}
+	rep := compareBaselines(mk(), mk(), 10)
+	if len(rep.Failures) != 0 || len(rep.Warnings) != 0 {
+		t.Fatalf("identical baselines: failures=%v warnings=%v", rep.Failures, rep.Warnings)
+	}
+	if rep.Compared != 2 {
+		t.Fatalf("Compared = %d, want 2", rep.Compared)
+	}
+}
+
+func TestCompareSemanticDriftFails(t *testing.T) {
+	old := &Baseline{Benchmarks: []Benchmark{
+		bench("corral", "Fig6", map[string]float64{"makespan_reduction_pct": 12.3}),
+	}}
+	fresh := &Baseline{Benchmarks: []Benchmark{
+		bench("corral", "Fig6", map[string]float64{"makespan_reduction_pct": math.Nextafter(12.3, 13)}),
+	}}
+	rep := compareBaselines(old, fresh, 10)
+	if len(rep.Failures) != 1 {
+		t.Fatalf("ulp-level semantic drift: failures = %v, want exactly 1", rep.Failures)
+	}
+	if !strings.Contains(rep.Failures[0], "makespan_reduction_pct") {
+		t.Errorf("failure does not name the metric: %q", rep.Failures[0])
+	}
+}
+
+func TestCompareTimingDriftIsAdvisory(t *testing.T) {
+	old := &Baseline{Benchmarks: []Benchmark{
+		bench("corral", "Fig6", map[string]float64{"ns/op": 100, "B/op": 50}),
+	}}
+	fresh := &Baseline{Benchmarks: []Benchmark{
+		bench("corral", "Fig6", map[string]float64{"ns/op": 300, "B/op": 52}),
+	}}
+	rep := compareBaselines(old, fresh, 25)
+	if len(rep.Failures) != 0 {
+		t.Fatalf("timing drift must never fail: %v", rep.Failures)
+	}
+	// ns/op drifted 200% (> tol), B/op only 4% (< tol).
+	if len(rep.Warnings) != 1 || !strings.Contains(rep.Warnings[0], "ns/op") {
+		t.Fatalf("warnings = %v, want exactly one about ns/op", rep.Warnings)
+	}
+}
+
+func TestCompareMissingAndExtraBenchmarksFail(t *testing.T) {
+	old := &Baseline{Benchmarks: []Benchmark{
+		bench("corral", "Old", map[string]float64{"ns/op": 1}),
+		bench("corral", "Shared", map[string]float64{"ns/op": 1}),
+	}}
+	fresh := &Baseline{Benchmarks: []Benchmark{
+		bench("corral", "Shared", map[string]float64{"ns/op": 1}),
+		bench("corral", "New", map[string]float64{"ns/op": 1}),
+	}}
+	rep := compareBaselines(old, fresh, 10)
+	if len(rep.Failures) != 2 {
+		t.Fatalf("failures = %v, want one missing + one extra", rep.Failures)
+	}
+	joined := strings.Join(rep.Failures, "\n")
+	if !strings.Contains(joined, "Old") || !strings.Contains(joined, "New") {
+		t.Errorf("failures do not name both benchmarks: %v", rep.Failures)
+	}
+}
+
+func TestCompareMissingAndExtraMetricsFail(t *testing.T) {
+	old := &Baseline{Benchmarks: []Benchmark{
+		bench("corral", "Fig6", map[string]float64{"gone_metric": 1, "ns/op": 5}),
+	}}
+	fresh := &Baseline{Benchmarks: []Benchmark{
+		bench("corral", "Fig6", map[string]float64{"new_metric": 1, "ns/op": 5}),
+	}}
+	rep := compareBaselines(old, fresh, 10)
+	if len(rep.Failures) != 2 {
+		t.Fatalf("failures = %v, want one missing + one extra metric", rep.Failures)
+	}
+}
+
+func TestCompareSameNameDifferentPkgStaysDistinct(t *testing.T) {
+	old := &Baseline{Benchmarks: []Benchmark{
+		bench("corral", "X", map[string]float64{"frac": 0.5}),
+		bench("corral/internal/netsim", "X", map[string]float64{"frac": 0.9}),
+	}}
+	fresh := &Baseline{Benchmarks: []Benchmark{
+		bench("corral", "X", map[string]float64{"frac": 0.5}),
+		bench("corral/internal/netsim", "X", map[string]float64{"frac": 0.9}),
+	}}
+	rep := compareBaselines(old, fresh, 10)
+	if len(rep.Failures) != 0 || rep.Compared != 2 {
+		t.Fatalf("pkg-qualified keys: failures=%v compared=%d", rep.Failures, rep.Compared)
+	}
+}
+
+func TestCompareLegacyBaselineWithoutPkgKeysOnName(t *testing.T) {
+	// Baselines written before per-benchmark pkg tracking have no pkg on
+	// any benchmark; a fresh run with pkgs must still line up by name.
+	old := &Baseline{Benchmarks: []Benchmark{
+		bench("", "Fig6", map[string]float64{"frac": 0.5}),
+	}}
+	fresh := &Baseline{Benchmarks: []Benchmark{
+		bench("corral", "Fig6", map[string]float64{"frac": 0.5}),
+	}}
+	rep := compareBaselines(old, fresh, 10)
+	if len(rep.Failures) != 0 || rep.Compared != 1 {
+		t.Fatalf("legacy fallback: failures=%v compared=%d", rep.Failures, rep.Compared)
+	}
+}
+
+func TestDriftPct(t *testing.T) {
+	if got := driftPct(100, 100); got != 0 {
+		t.Errorf("driftPct(100, 100) = %g, want 0", got)
+	}
+	if got := driftPct(100, 110); math.Abs(got-10) > 1e-9 {
+		t.Errorf("driftPct(100, 110) = %g, want 10", got)
+	}
+	if got := driftPct(0, 1); !math.IsInf(got, 1) {
+		t.Errorf("driftPct(0, 1) = %g, want +Inf", got)
+	}
+	if got := driftPct(0, 0); got != 0 {
+		t.Errorf("driftPct(0, 0) = %g, want 0", got)
+	}
+}

@@ -5,11 +5,20 @@
 // Usage:
 //
 //	go test -run '^$' -bench . -benchtime 1x . | corralbench -o BENCH_baseline.json
+//	go test -run '^$' -bench . -benchtime 1x . ./internal/netsim | corralbench -compare BENCH_baseline.json -tol 25
 //
-// Every benchmark line is parsed into its name, GOMAXPROCS suffix,
-// iteration count and metric pairs (ns/op plus any custom b.ReportMetric
-// values the harness republishes from the experiment reports). Header
-// lines (goos/goarch/pkg/cpu) are carried into the JSON envelope.
+// Every benchmark line is parsed into its name, package, GOMAXPROCS
+// suffix, iteration count and metric pairs (ns/op plus any custom
+// b.ReportMetric values the harness republishes from the experiment
+// reports). Header lines (goos/goarch/pkg/cpu) are carried into the JSON
+// envelope.
+//
+// With -compare, the parsed run is diffed against a committed baseline:
+// semantic metrics (deterministic simulation outcomes) must match bit for
+// bit and any drift exits non-zero; timing metrics (ns/op, B/op,
+// allocs/op, MB/s) are machine-dependent and only warn past -tol percent.
+// -o still works in compare mode, so CI can upload the fresh JSON as an
+// artifact even when the gate fails.
 package main
 
 import (
@@ -22,6 +31,10 @@ import (
 
 func main() {
 	out := flag.String("o", "", "output path (default stdout)")
+	compare := flag.String("compare", "",
+		"baseline JSON to diff against; semantic metric drift exits non-zero")
+	tol := flag.Float64("tol", 10,
+		"advisory tolerance (percent) for timing metrics (ns/op, B/op, allocs/op, MB/s) in -compare mode")
 	flag.Parse()
 
 	baseline, err := parse(bufio.NewScanner(os.Stdin))
@@ -36,14 +49,36 @@ func main() {
 		fatal(err)
 	}
 	buf = append(buf, '\n')
-	if *out == "" {
+	switch {
+	case *out == "" && *compare == "":
 		os.Stdout.Write(buf)
+	case *out != "":
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("corralbench: wrote %d benchmarks to %s\n", len(baseline.Benchmarks), *out)
+	}
+
+	if *compare == "" {
 		return
 	}
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+	old, err := loadBaseline(*compare)
+	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("corralbench: wrote %d benchmarks to %s\n", len(baseline.Benchmarks), *out)
+	rep := compareBaselines(old, baseline, *tol)
+	for _, w := range rep.Warnings {
+		fmt.Fprintln(os.Stderr, "corralbench: warning:", w)
+	}
+	for _, f := range rep.Failures {
+		fmt.Fprintln(os.Stderr, "corralbench: FAIL:", f)
+	}
+	if len(rep.Failures) > 0 {
+		fatal(fmt.Errorf("%d semantic drift(s) vs %s (regenerate with `make bench` if intended)",
+			len(rep.Failures), *compare))
+	}
+	fmt.Printf("corralbench: OK: %d benchmarks match %s (%d advisory warnings, tol %g%%)\n",
+		rep.Compared, *compare, len(rep.Warnings), *tol)
 }
 
 func fatal(err error) {

@@ -17,9 +17,13 @@ type Baseline struct {
 	Benchmarks []Benchmark `json:"benchmarks"`
 }
 
-// Benchmark is one parsed result line.
+// Benchmark is one parsed result line. Pkg is the package the benchmark
+// came from (tracked from the pkg: headers a multi-package `go test -bench`
+// run interleaves), so benchmarks with the same name in different packages
+// key distinctly in comparisons.
 type Benchmark struct {
 	Name       string             `json:"name"`
+	Pkg        string             `json:"pkg,omitempty"`
 	Procs      int                `json:"procs,omitempty"`
 	Iterations int64              `json:"iterations"`
 	Metrics    map[string]float64 `json:"metrics"`
@@ -34,17 +38,21 @@ type Benchmark struct {
 // skipped.
 func parse(sc *bufio.Scanner) (*Baseline, error) {
 	b := &Baseline{Benchmarks: []Benchmark{}}
+	curPkg := ""
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		switch {
 		case strings.HasPrefix(line, "goos:"):
 			b.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
 			continue
+		case strings.HasPrefix(line, "pkg:"):
+			curPkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			if b.Pkg == "" {
+				b.Pkg = curPkg
+			}
+			continue
 		case strings.HasPrefix(line, "goarch:"):
 			b.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
-			continue
-		case strings.HasPrefix(line, "pkg:"):
-			b.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
 			continue
 		case strings.HasPrefix(line, "cpu:"):
 			b.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
@@ -61,6 +69,7 @@ func parse(sc *bufio.Scanner) (*Baseline, error) {
 		if err != nil {
 			return nil, fmt.Errorf("line %q: %w", line, err)
 		}
+		bm.Pkg = curPkg
 		b.Benchmarks = append(b.Benchmarks, *bm)
 	}
 	if err := sc.Err(); err != nil {

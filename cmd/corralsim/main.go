@@ -32,8 +32,11 @@ func main() {
 			"comma-separated fault intensities for the chaos sweep (implies -exp chaos)")
 		fuzzTraces = flag.Int("fuzz-traces", 0,
 			"trace count for the corralcheck fuzzer (implies -exp fuzz; 0 = bundled default)")
+		workers = flag.Int("workers", 0,
+			"worker pool bound for parallel experiment sweeps (0 = GOMAXPROCS, 1 = serial; results are identical for any value)")
 	)
 	flag.Parse()
+	corral.SetSweepWorkers(*workers)
 
 	if *fuzzTraces > 0 || *exp == "fuzz" {
 		sz, err := parseSize(*size)

@@ -25,17 +25,28 @@ func AblationAlpha(p Params) (*Report, error) {
 		Title:   "Corral with and without the α·D_I/r penalty",
 		Columns: []string{"alpha", "input CoV", "makespan (s)"},
 	}
-	for _, alpha := range []float64{0, -1} { // 0 = off, -1 = paper default
-		plan, err := planner.New(planner.Input{Cluster: cm, Jobs: jobs, Alpha: alpha})
+	// Both ablation cells (penalty off / on) plan and simulate
+	// independently; fan them out and render in cell order (parallel.go).
+	alphas := []float64{0, -1} // 0 = off, -1 = paper default
+	results := make([]*runtime.Result, len(alphas))
+	if err := parallelFor(len(alphas), func(i int) error {
+		plan, err := planner.New(planner.Input{Cluster: cm, Jobs: jobs, Alpha: alphas[i]})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := runtime.Run(runtime.Options{
 			Topology: topo, Scheduler: runtime.Corral, Plan: plan, Seed: p.Seed,
 		}, workload.Clone(jobs))
 		if err != nil {
-			return nil, err
+			return err
 		}
+		results[i] = res
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for i, alpha := range alphas {
+		res := results[i]
 		label := "default (1/rack-uplink)"
 		key := "on"
 		if alpha == 0 {
@@ -157,18 +168,33 @@ func AblationDelay(p Params) (*Report, error) {
 		Title:   "Yarn-CS batch behavior vs patience (in scheduling opportunities)",
 		Columns: []string{"node-local patience", "makespan (s)", "cross-rack GB"},
 	}
-	for _, mult := range []float64{0.1, 1, 4} {
+	// Patience levels fan out as independent cells and render in level
+	// order (parallel.go).
+	mults := []float64{0.1, 1, 4}
+	patience := make([]int, len(mults))
+	for i, mult := range mults {
 		d1 := int(float64(machines) * mult)
 		if d1 < 1 {
 			d1 = 1
 		}
+		patience[i] = d1
+	}
+	results := make([]*runtime.Result, len(mults))
+	if err := parallelFor(len(mults), func(i int) error {
 		res, err := runtime.Run(runtime.Options{
 			Topology: topo, Scheduler: runtime.YarnCS, Seed: p.Seed,
-			DelayNodeLocal: d1, DelayRackLocal: 2 * d1,
+			DelayNodeLocal: patience[i], DelayRackLocal: 2 * patience[i],
 		}, workload.Clone(jobs))
 		if err != nil {
-			return nil, err
+			return err
 		}
+		results[i] = res
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for i, d1 := range patience {
+		res := results[i]
 		t.AddRow(fmt.Sprintf("%d", d1), metrics.F(res.Makespan, 1), metrics.F(res.CrossRackBytes/1e9, 1))
 		r.set(fmt.Sprintf("makespan_d%d", d1), res.Makespan)
 		r.set(fmt.Sprintf("crossrack_gb_d%d", d1), res.CrossRackBytes/1e9)

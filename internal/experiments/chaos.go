@@ -113,30 +113,50 @@ func RunChaos(p ChaosParams) (*ChaosReport, error) {
 		return nil, err
 	}
 	rep := &ChaosReport{Horizon: clean.Makespan, Clean: clean}
-	for _, intensity := range p.Intensities {
-		failures, faults := GenChaosTrace(topo, p.Seed, intensity, rep.Horizon)
-		run := ChaosRun{Intensity: intensity}
-		type cfg struct {
-			out    **runtime.Result
-			kind   runtime.Kind
-			plan   *planner.Plan
-			replan bool
+	// Every (intensity, scheduler config) cell is an independent simulation:
+	// precompute the traces, fan the cells out over the sweep worker pool,
+	// and assemble Runs in intensity order afterwards (see parallel.go for
+	// the determinism rules).
+	type cfg struct {
+		kind   runtime.Kind
+		plan   *planner.Plan
+		replan bool
+	}
+	cfgs := []cfg{
+		{runtime.YarnCS, nil, false},
+		{runtime.Corral, plan, false},
+		{runtime.Corral, plan, true},
+	}
+	type trace struct {
+		failures []runtime.Failure
+		faults   []runtime.LinkFault
+	}
+	traces := make([]trace, len(p.Intensities))
+	for i, intensity := range p.Intensities {
+		traces[i].failures, traces[i].faults = GenChaosTrace(topo, p.Seed, intensity, rep.Horizon)
+	}
+	results := make([]*runtime.Result, len(p.Intensities)*len(cfgs))
+	if err := parallelFor(len(results), func(ci int) error {
+		tr, c := traces[ci/len(cfgs)], cfgs[ci%len(cfgs)]
+		res, err := runtime.Run(runtime.Options{
+			Topology: topo, Scheduler: c.kind, Plan: c.plan, Seed: p.Seed,
+			Failures: tr.failures, LinkFaults: tr.faults, ReplanOnFailure: c.replan,
+		}, workload.Clone(jobs))
+		if err != nil {
+			return err
 		}
-		for _, c := range []cfg{
-			{&run.Yarn, runtime.YarnCS, nil, false},
-			{&run.CorralDrop, runtime.Corral, plan, false},
-			{&run.CorralReplan, runtime.Corral, plan, true},
-		} {
-			res, err := runtime.Run(runtime.Options{
-				Topology: topo, Scheduler: c.kind, Plan: c.plan, Seed: p.Seed,
-				Failures: failures, LinkFaults: faults, ReplanOnFailure: c.replan,
-			}, workload.Clone(jobs))
-			if err != nil {
-				return nil, err
-			}
-			*c.out = res
-		}
-		rep.Runs = append(rep.Runs, run)
+		results[ci] = res
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for i, intensity := range p.Intensities {
+		rep.Runs = append(rep.Runs, ChaosRun{
+			Intensity:    intensity,
+			Yarn:         results[i*len(cfgs)],
+			CorralDrop:   results[i*len(cfgs)+1],
+			CorralReplan: results[i*len(cfgs)+2],
+		})
 	}
 	return rep, nil
 }

@@ -256,18 +256,28 @@ func runAll(topo topology.Config, jobs []*job.Job, obj planner.Objective, seed i
 			return nil, err
 		}
 	}
-	out := make(map[runtime.Kind]*runtime.Result, len(kinds))
-	for _, k := range kinds {
+	// Each scheduler's run is independent (the plan is read-only, jobs are
+	// cloned per run), so kinds fan out over the sweep worker pool and the
+	// result map is assembled in kind order afterwards (parallel.go).
+	results := make([]*runtime.Result, len(kinds))
+	if err := parallelFor(len(kinds), func(i int) error {
 		res, err := runtime.Run(runtime.Options{
 			Topology:  topo,
-			Scheduler: k,
+			Scheduler: kinds[i],
 			Plan:      plan,
 			Seed:      seed,
 		}, workload.Clone(jobs))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out[k] = res
+		results[i] = res
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	out := make(map[runtime.Kind]*runtime.Result, len(kinds))
+	for i, k := range kinds {
+		out[k] = results[i]
 	}
 	return out, nil
 }

@@ -55,8 +55,12 @@ func Fig14(p Params) (*Report, error) {
 		{"corral+tcp", runtime.Corral, netsim.MaxMinFair{}},
 		{"corral+varys", runtime.Corral, netsim.Varys{}},
 	}
-	times := map[string][]float64{}
-	for _, c := range combos {
+	// The four scheduler x flow-policy combos fan out as independent cells
+	// (parallel.go). MaxMinFair and Varys are stateless values, safe to
+	// hand to concurrent runs; the plan is read-only.
+	combosTimes := make([][]float64, len(combos))
+	if err := parallelFor(len(combos), func(i int) error {
+		c := combos[i]
 		res, err := runtime.Run(runtime.Options{
 			Topology:  topo,
 			Scheduler: c.sched,
@@ -65,9 +69,16 @@ func Fig14(p Params) (*Report, error) {
 			Seed:      p.Seed,
 		}, workload.Clone(jobs))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		times[c.label] = completionTimes(res, nil)
+		combosTimes[i] = completionTimes(res, nil)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	times := map[string][]float64{}
+	for i, c := range combos {
+		times[c.label] = combosTimes[i]
 	}
 
 	t := &metrics.Table{

@@ -118,7 +118,20 @@ func RunFuzz(p FuzzParams) (*FuzzReport, error) {
 	prof := profileFor(p.Size)
 	topo := prof.topo
 	rep := &FuzzReport{Traces: p.Traces}
-	for i := 0; i < p.Traces; i++ {
+	// Each trace — workload generation, planning, clean run, trace
+	// generation and the three monitored runs — is fully derived from its
+	// own seed, so traces fan out over the sweep worker pool and their
+	// outputs merge in trace order (see parallel.go for the rules).
+	type traceOut struct {
+		runs        int
+		violations  []string
+		completed   int
+		failed      int
+		completions []float64
+	}
+	outs := make([]traceOut, p.Traces)
+	if err := parallelFor(p.Traces, func(i int) error {
+		out := &outs[i]
 		traceSeed := p.Seed + int64(i)*7919
 		wrng := rand.New(rand.NewSource(traceSeed))
 		// Randomized workload: a small W1 sample with arrivals spread
@@ -128,13 +141,13 @@ func RunFuzz(p FuzzParams) (*FuzzReport, error) {
 		jobs := workload.W1(prof.wcfg(traceSeed, nJobs, window))
 		plan, err := planJobs(topo, jobs, planner.MinimizeAvgCompletion)
 		if err != nil {
-			return nil, fmt.Errorf("fuzz trace %d: plan: %w", i, err)
+			return fmt.Errorf("fuzz trace %d: plan: %w", i, err)
 		}
 		clean, err := runtime.Run(runtime.Options{
 			Topology: topo, Scheduler: runtime.Corral, Plan: plan, Seed: traceSeed,
 		}, workload.Clone(jobs))
 		if err != nil {
-			return nil, fmt.Errorf("fuzz trace %d: clean run: %w", i, err)
+			return fmt.Errorf("fuzz trace %d: clean run: %w", i, err)
 		}
 		ids := make([]int, len(jobs))
 		for k, j := range jobs {
@@ -160,29 +173,39 @@ func RunFuzz(p FuzzParams) (*FuzzReport, error) {
 				opts.Plan = plan
 			}
 			res, err := runtime.Run(opts, workload.Clone(jobs))
-			rep.Runs++
+			out.runs++
 			label := fmt.Sprintf("trace %d (seed %d) %s", i, traceSeed, sc.name)
 			if err != nil {
-				rep.Violations = append(rep.Violations,
+				out.violations = append(out.violations,
 					fmt.Sprintf("%s: run error: %v", label, err))
 				continue
 			}
 			for _, v := range mon.Violations() {
-				rep.Violations = append(rep.Violations, label+": "+v)
+				out.violations = append(out.violations, label+": "+v)
 			}
 			if !mon.Ended() {
-				rep.Violations = append(rep.Violations, label+": monitor never saw SimEnd")
+				out.violations = append(out.violations, label+": monitor never saw SimEnd")
 			}
 			for k := range res.Jobs {
 				jr := &res.Jobs[k]
 				if jr.Failed {
-					rep.Failed++
+					out.failed++
 					continue
 				}
-				rep.Completed++
-				rep.Completions = append(rep.Completions, jr.CompletionTime)
+				out.completed++
+				out.completions = append(out.completions, jr.CompletionTime)
 			}
 		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for i := range outs {
+		rep.Runs += outs[i].runs
+		rep.Violations = append(rep.Violations, outs[i].violations...)
+		rep.Completed += outs[i].completed
+		rep.Failed += outs[i].failed
+		rep.Completions = append(rep.Completions, outs[i].completions...)
 	}
 	return rep, nil
 }
@@ -270,24 +293,32 @@ func RunAttrition(p Params, probs []float64) (*AttritionReport, error) {
 		return nil, err
 	}
 	rep := &AttritionReport{}
-	for _, prob := range append([]float64{0}, probs...) {
+	// Crash-probability levels are independent monitored runs: fan them out
+	// and collect in level order (see parallel.go for the rules).
+	levels := append([]float64{0}, probs...)
+	results := make([]*runtime.Result, len(levels))
+	if err := parallelFor(len(levels), func(i int) error {
+		prob := levels[i]
 		mon := invariants.NewMonitor(topo.Machines(), topo.SlotsPerMachine)
 		res, err := runtime.Run(runtime.Options{
 			Topology: topo, Scheduler: runtime.Corral, Plan: plan, Seed: p.Seed,
 			TaskFailureProb: prob, Probe: mon,
 		}, workload.Clone(jobs))
 		if err != nil {
-			return nil, fmt.Errorf("attrition p=%g: %w", prob, err)
+			return fmt.Errorf("attrition p=%g: %w", prob, err)
 		}
 		if n := mon.ViolationCount(); n != 0 {
-			return nil, fmt.Errorf("attrition p=%g: %d invariant violations: %v",
+			return fmt.Errorf("attrition p=%g: %d invariant violations: %v",
 				prob, n, mon.Violations())
 		}
-		if prob == 0 {
-			rep.Clean = res
-			continue
-		}
-		rep.Runs = append(rep.Runs, AttritionRun{Prob: prob, Result: res})
+		results[i] = res
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	rep.Clean = results[0]
+	for i, prob := range probs {
+		rep.Runs = append(rep.Runs, AttritionRun{Prob: prob, Result: results[i+1]})
 	}
 	return rep, nil
 }

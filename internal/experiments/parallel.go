@@ -1,0 +1,80 @@
+package experiments
+
+// Parallel sweep infrastructure. Experiment sweeps (chaos intensities, fuzz
+// traces, sensitivity points, ablation cells) are embarrassingly parallel:
+// every cell runs on its own des.Simulator with its own rng, network and
+// cluster state, and runtime.Run shares nothing mutable across runs (plans
+// are read-only; job sets are cloned per run). parallelFor fans cells out
+// over a bounded worker pool.
+//
+// Determinism obligations: worker scheduling must never leak into results.
+// Call sites therefore (1) precompute every cell's inputs before the fan-
+// out, (2) have each cell write only to its own index-addressed slot, and
+// (3) merge/aggregate slots serially in index order after the pool drains —
+// so reductions see operands in exactly the order the old serial loops
+// used, and reports are bit-identical for any worker count
+// (TestParallelSweepDeterminism, TestSweepWorkerCountInvariance).
+
+import (
+	goruntime "runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// sweepWorkers is the configured worker bound; <=0 means GOMAXPROCS.
+var sweepWorkers atomic.Int64
+
+// SetSweepWorkers bounds the worker pool used by experiment sweeps. n <= 0
+// restores the default (GOMAXPROCS); n == 1 forces serial execution. The
+// setting changes wall-clock only, never results.
+func SetSweepWorkers(n int) { sweepWorkers.Store(int64(n)) }
+
+// SweepWorkers reports the current effective worker bound.
+func SweepWorkers() int {
+	if n := int(sweepWorkers.Load()); n > 0 {
+		return n
+	}
+	return goruntime.GOMAXPROCS(0)
+}
+
+// parallelFor runs fn(0..n-1) across the worker pool and returns the
+// lowest-index error, or nil. fn must confine its writes to cell i's own
+// result slot; any shared aggregation belongs after parallelFor returns.
+func parallelFor(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	w := SweepWorkers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			errs[i] = fn(i)
+		}
+	} else {
+		var next int64 = -1
+		var wg sync.WaitGroup
+		for k := 0; k < w; k++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(atomic.AddInt64(&next, 1))
+					if i >= n {
+						return
+					}
+					errs[i] = fn(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -31,28 +31,44 @@ func Fig12(p Params) (*Report, error) {
 		Title:   "% reduction vs Yarn-CS as background load grows",
 		Columns: []string{"background", "makespan (batch)", "avg job time (online)"},
 	}
-	for _, frac := range fracs {
+	// One cell per (background level, seed); each runs its own batch and
+	// online simulations. Cells fan out over the sweep worker pool and the
+	// per-level averages reduce in seed order, exactly as the old serial
+	// loops did (see parallel.go for the determinism rules).
+	type cellOut struct {
+		makespanRed, avgRed float64
+	}
+	cells := make([]cellOut, len(fracs)*len(seeds))
+	if err := parallelFor(len(cells), func(ci int) error {
+		frac, seed := fracs[ci/len(seeds)], seeds[ci%len(seeds)]
 		topo := prof.withBackground(frac)
-		var makespanRed, avgRed float64
-		for _, seed := range seeds {
-			batch := genWorkload("W1", prof, seed, 0)
-			bres, err := runAll(topo, batch, planner.MinimizeMakespan, seed,
-				runtime.YarnCS, runtime.Corral)
-			if err != nil {
-				return nil, err
-			}
-			makespanRed += metrics.Reduction(bres[runtime.YarnCS].Makespan, bres[runtime.Corral].Makespan)
+		batch := genWorkload("W1", prof, seed, 0)
+		bres, err := runAll(topo, batch, planner.MinimizeMakespan, seed,
+			runtime.YarnCS, runtime.Corral)
+		if err != nil {
+			return err
+		}
+		cells[ci].makespanRed = metrics.Reduction(bres[runtime.YarnCS].Makespan, bres[runtime.Corral].Makespan)
 
-			online, err := genOnlineWorkload("W1", prof, seed)
-			if err != nil {
-				return nil, err
-			}
-			ores, err := runAll(topo, online, planner.MinimizeAvgCompletion, seed,
-				runtime.YarnCS, runtime.Corral)
-			if err != nil {
-				return nil, err
-			}
-			avgRed += metrics.Reduction(ores[runtime.YarnCS].AvgCompletionTime(), ores[runtime.Corral].AvgCompletionTime())
+		online, err := genOnlineWorkload("W1", prof, seed)
+		if err != nil {
+			return err
+		}
+		ores, err := runAll(topo, online, planner.MinimizeAvgCompletion, seed,
+			runtime.YarnCS, runtime.Corral)
+		if err != nil {
+			return err
+		}
+		cells[ci].avgRed = metrics.Reduction(ores[runtime.YarnCS].AvgCompletionTime(), ores[runtime.Corral].AvgCompletionTime())
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for fi, frac := range fracs {
+		var makespanRed, avgRed float64
+		for si := range seeds {
+			makespanRed += cells[fi*len(seeds)+si].makespanRed
+			avgRed += cells[fi*len(seeds)+si].avgRed
 		}
 		makespanRed /= float64(len(seeds))
 		avgRed /= float64(len(seeds))
@@ -93,23 +109,36 @@ func Fig13a(p Params) (*Report, error) {
 		Title:   "% reduction in makespan vs Yarn-CS under size error",
 		Columns: []string{"error", "reduction"},
 	}
-	for _, errFrac := range []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5} {
+	// (error level, seed) grid, fanned out per the parallel.go rules: the
+	// seed states are precomputed above, each cell runs its own pair of
+	// simulations, and per-level averages reduce in seed order.
+	errFracs := []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5}
+	reds := make([]float64, len(errFracs)*len(seeds))
+	if err := parallelFor(len(reds), func(ci int) error {
+		errFrac, i := errFracs[ci/len(seeds)], ci%len(seeds)
+		seed := seeds[i]
+		actual := workload.PerturbSizes(states[i].predicted, errFrac, seed+int64(errFrac*100))
+		yarn, err := runtime.Run(runtime.Options{
+			Topology: topo, Scheduler: runtime.YarnCS, Seed: seed,
+		}, workload.Clone(actual))
+		if err != nil {
+			return err
+		}
+		corral, err := runtime.Run(runtime.Options{
+			Topology: topo, Scheduler: runtime.Corral, Plan: states[i].plan, Seed: seed,
+		}, workload.Clone(actual))
+		if err != nil {
+			return err
+		}
+		reds[ci] = metrics.Reduction(yarn.Makespan, corral.Makespan)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for fi, errFrac := range errFracs {
 		red := 0.0
-		for i, seed := range seeds {
-			actual := workload.PerturbSizes(states[i].predicted, errFrac, seed+int64(errFrac*100))
-			yarn, err := runtime.Run(runtime.Options{
-				Topology: topo, Scheduler: runtime.YarnCS, Seed: seed,
-			}, workload.Clone(actual))
-			if err != nil {
-				return nil, err
-			}
-			corral, err := runtime.Run(runtime.Options{
-				Topology: topo, Scheduler: runtime.Corral, Plan: states[i].plan, Seed: seed,
-			}, workload.Clone(actual))
-			if err != nil {
-				return nil, err
-			}
-			red += metrics.Reduction(yarn.Makespan, corral.Makespan)
+		for si := range seeds {
+			red += reds[fi*len(seeds)+si]
 		}
 		red /= float64(len(seeds))
 		t.AddRow(metrics.Pct(100*errFrac), metrics.Pct(red))
@@ -159,24 +188,34 @@ func Fig13b(p Params) (*Report, error) {
 		Title:   "% reduction in average job time vs Yarn-CS under arrival error",
 		Columns: []string{"% jobs delayed", "reduction"},
 	}
-	for _, f := range []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5} {
+	// Same (level, seed) grid fan-out as Fig13a, per the parallel.go rules.
+	delayFracs := []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5}
+	reds := make([]float64, len(delayFracs)*len(seeds))
+	if err := parallelFor(len(reds), func(ci int) error {
+		f, i := delayFracs[ci/len(seeds)], ci%len(seeds)
+		seed, st := seeds[i], states[i]
+		actual := workload.PerturbArrivals(st.predicted, f, st.delay, seed+int64(f*100))
+		yarn, err := runtime.Run(runtime.Options{
+			Topology: topo, Scheduler: runtime.YarnCS, Seed: seed,
+		}, workload.Clone(actual))
+		if err != nil {
+			return err
+		}
+		corral, err := runtime.Run(runtime.Options{
+			Topology: topo, Scheduler: runtime.Corral, Plan: st.plan, Seed: seed,
+		}, workload.Clone(actual))
+		if err != nil {
+			return err
+		}
+		reds[ci] = metrics.Reduction(yarn.AvgCompletionTime(), corral.AvgCompletionTime())
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for fi, f := range delayFracs {
 		red := 0.0
-		for i, seed := range seeds {
-			st := states[i]
-			actual := workload.PerturbArrivals(st.predicted, f, st.delay, seed+int64(f*100))
-			yarn, err := runtime.Run(runtime.Options{
-				Topology: topo, Scheduler: runtime.YarnCS, Seed: seed,
-			}, workload.Clone(actual))
-			if err != nil {
-				return nil, err
-			}
-			corral, err := runtime.Run(runtime.Options{
-				Topology: topo, Scheduler: runtime.Corral, Plan: st.plan, Seed: seed,
-			}, workload.Clone(actual))
-			if err != nil {
-				return nil, err
-			}
-			red += metrics.Reduction(yarn.AvgCompletionTime(), corral.AvgCompletionTime())
+		for si := range seeds {
+			red += reds[fi*len(seeds)+si]
 		}
 		red /= float64(len(seeds))
 		t.AddRow(metrics.Pct(100*f), metrics.Pct(red))

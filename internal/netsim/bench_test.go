@@ -1,0 +1,61 @@
+package netsim
+
+import (
+	"testing"
+
+	"corral/internal/des"
+	"corral/internal/topology"
+)
+
+// benchNetwork builds a paper-scale cluster (50 racks × 40 machines, §6.6)
+// carrying ~nFlows exec-shaped shuffle flows. Jobs are heterogeneous the way
+// real workload traces are: each destination machine runs a varying number
+// of reducers (1–8) pulling rack-aggregated transfers from a varying fan-in
+// of source racks (1–10), spread across the whole cluster. Reducers on one
+// machine pulling from the same rack share identical link paths — the
+// equivalence structure GroupedMaxMin exploits — while the uneven per-link
+// loads make bottlenecks cascade through many fill levels, as they do in
+// the W1–W4 sweeps.
+func benchNetwork(b *testing.B, nFlows int) *Network {
+	b.Helper()
+	c := topology.MustNew(topology.Config{
+		Racks:            50,
+		MachinesPerRack:  40,
+		SlotsPerMachine:  2,
+		NICBandwidth:     10 * gbps,
+		Oversubscription: 5,
+	})
+	sim := des.New()
+	n := New(sim, c, MaxMinFair{})
+	started := 0
+	for dst := 0; started < nFlows; dst = (dst + 137) % (c.Config.Racks * c.Config.MachinesPerRack) {
+		dstRack := c.RackOf(dst)
+		reducers := 1 + dst%8
+		srcRacks := 1 + dst%10
+		for s := 0; s < srcRacks && started < nFlows; s++ {
+			srcRack := (dstRack + 1 + s*5) % c.Config.Racks
+			path := []topology.LinkID{c.RackUplink(srcRack), c.RackDownlink(dstRack), c.MachineDownlink(dst)}
+			for r := 0; r < reducers && started < nFlows; r++ {
+				n.StartPath(path, true, 1*gbps, CoflowID(dst), 0, nil)
+				started++
+			}
+		}
+	}
+	return n
+}
+
+func benchmarkAllocate(b *testing.B, p Policy, nFlows int) {
+	n := benchNetwork(b, nFlows)
+	p.Allocate(n.flows, n.caps, n.scratch) // warm any policy scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Allocate(n.flows, n.caps, n.scratch)
+	}
+}
+
+func BenchmarkRecomputeMaxMin1k(b *testing.B)  { benchmarkAllocate(b, MaxMinFair{}, 1000) }
+func BenchmarkRecomputeMaxMin10k(b *testing.B) { benchmarkAllocate(b, MaxMinFair{}, 10000) }
+
+func BenchmarkRecomputeGrouped1k(b *testing.B)  { benchmarkAllocate(b, NewGroupedMaxMin(), 1000) }
+func BenchmarkRecomputeGrouped10k(b *testing.B) { benchmarkAllocate(b, NewGroupedMaxMin(), 10000) }

@@ -1,0 +1,199 @@
+package netsim
+
+import (
+	"slices"
+
+	"corral/internal/topology"
+)
+
+// GroupedMaxMin is a drop-in fast path for MaxMinFair: it collapses flows
+// sharing an identical link path (same Network-interned pathID) into one
+// equivalence class before water-filling. On the two-level CLOS there are
+// only O(racks²) distinct paths regardless of flow count — the execution
+// engine's rack-aggregated shuffle transfers reuse a handful of paths per
+// destination machine — so the fill loop runs over hundreds of groups
+// instead of tens of thousands of flows.
+//
+// Equivalence contract: rates are bit-identical to MaxMinFair. Flows in one
+// class are indistinguishable to progressive filling (same links, same
+// freeze instant), and maxMinFill charges links with one aggregated
+// delta·count operation per link per level, which is exactly the arithmetic
+// performed here on group counts. Each member flow's rate in the reference
+// is the same sum 0 + δ₁ + δ₂ + … accumulated below per group. The seeded
+// differential tests in grouped_test.go enforce this bit-for-bit.
+//
+// The allocator keeps reusable scratch keyed by pathID and link id, with
+// round-stamping instead of clearing, so steady-state Allocate calls do not
+// allocate. It is stateful: use one instance per Network (NewGroupedMaxMin),
+// never share an instance across concurrently running simulations.
+type GroupedMaxMin struct {
+	// Per-pathID scratch, grown as new paths are interned. groupOf[id] is
+	// only meaningful when gstamp[id] == round.
+	groupOf []int32
+	gstamp  []int32
+	groups  []pathGroup
+
+	// Per-link scratch. cnt[l] (unfrozen member flows on link l) and
+	// linkGroups[l] (indices of groups whose path crosses l) are only
+	// meaningful when cstamp[l] == round. used holds the id-sorted links
+	// with any members, so the fill loop never scans the full link table.
+	cnt        []int
+	linkGroups [][]int32
+	cstamp     []int32
+	used       []int
+
+	round int32
+}
+
+type pathGroup struct {
+	path   []topology.LinkID
+	count  int // member flows
+	rate   float64
+	frozen bool
+}
+
+// NewGroupedMaxMin returns a grouped allocator for use by one Network.
+func NewGroupedMaxMin() *GroupedMaxMin { return &GroupedMaxMin{} }
+
+// Name implements Policy.
+func (g *GroupedMaxMin) Name() string { return "maxmin-grouped" }
+
+// Allocate implements Policy. Panics if any flow was constructed outside
+// Network.StartPath (pathID 0): grouping needs the interned path identity.
+func (g *GroupedMaxMin) Allocate(flows []*Flow, caps []float64, scratch []float64) {
+	remaining := scratch
+	copy(remaining, caps)
+	if len(flows) == 0 {
+		return
+	}
+
+	g.round++
+	if g.round < 0 { // stamp counter wrapped; invalidate all stamps
+		for i := range g.gstamp {
+			g.gstamp[i] = 0
+		}
+		for i := range g.cstamp {
+			g.cstamp[i] = 0
+		}
+		g.round = 1
+	}
+
+	// Build equivalence classes in flow order (deterministic: the Network
+	// iterates flows in start order).
+	g.groups = g.groups[:0]
+	for _, f := range flows {
+		id := int(f.pathID)
+		if id == 0 {
+			panic("netsim: GroupedMaxMin requires flows started via Network.StartPath (pathID unset)")
+		}
+		if id >= len(g.groupOf) {
+			g.groupOf = append(g.groupOf, make([]int32, id+1-len(g.groupOf))...)
+			g.gstamp = append(g.gstamp, make([]int32, id+1-len(g.gstamp))...)
+		}
+		if g.gstamp[id] != g.round {
+			g.gstamp[id] = g.round
+			g.groupOf[id] = int32(len(g.groups))
+			g.groups = append(g.groups, pathGroup{path: f.path, count: 1})
+		} else {
+			g.groups[g.groupOf[id]].count++
+		}
+	}
+
+	// Per-link unfrozen member counts, per-link group membership, and the
+	// sorted used-link list.
+	if len(g.cnt) < len(remaining) {
+		g.cnt = make([]int, len(remaining))
+		g.cstamp = make([]int32, len(remaining))
+		lg := make([][]int32, len(remaining))
+		copy(lg, g.linkGroups) // keep already-grown member slices
+		g.linkGroups = lg
+	}
+	g.used = g.used[:0]
+	for gi := range g.groups {
+		grp := &g.groups[gi]
+		for _, l := range grp.path {
+			li := int(l)
+			if g.cstamp[li] != g.round {
+				g.cstamp[li] = g.round
+				g.cnt[li] = 0
+				g.linkGroups[li] = g.linkGroups[li][:0]
+				g.used = append(g.used, li)
+			}
+			g.cnt[li] += grp.count
+			g.linkGroups[li] = append(g.linkGroups[li], int32(gi))
+		}
+	}
+	// Ascending link ids make the bottleneck scan pick the same link as the
+	// reference's full-table scan (strict < keeps the lowest id on ties).
+	slices.Sort(g.used)
+
+	// Water-fill over groups. Every unfrozen group has base rate 0 and
+	// receives the same delta at every level, so one shared accumulator
+	// (rateAcc, summed with exactly the reference's 0 + δ₁ + δ₂ + …
+	// operation order) stands in for all of them: a group's rate is the
+	// accumulator's value at the instant it freezes. That removes the
+	// per-level sweep over all groups — freezing touches only the
+	// bottleneck link's member groups via linkGroups.
+	unfrozen := len(g.groups)
+	level := 0.0
+	rateAcc := 0.0
+	for unfrozen > 0 {
+		bottleneck := -1
+		bottleneckLevel := 0.0
+		for _, l := range g.used {
+			c := g.cnt[l]
+			if c == 0 {
+				continue
+			}
+			lv := level + remaining[l]/float64(c)
+			if bottleneck == -1 || lv < bottleneckLevel {
+				bottleneck = l
+				bottleneckLevel = lv
+			}
+		}
+		if bottleneck == -1 {
+			break
+		}
+		delta := bottleneckLevel - level
+		rateAcc += delta
+		for _, l := range g.used {
+			c := g.cnt[l]
+			if c == 0 {
+				continue
+			}
+			remaining[l] -= delta * float64(c)
+			if remaining[l] < 0 {
+				remaining[l] = 0 // numerical dust
+			}
+		}
+		level = bottleneckLevel
+		for _, gi := range g.linkGroups[bottleneck] {
+			grp := &g.groups[gi]
+			if grp.frozen {
+				continue
+			}
+			grp.frozen = true
+			grp.rate = rateAcc
+			unfrozen--
+			for _, l2 := range grp.path {
+				g.cnt[int(l2)] -= grp.count
+			}
+		}
+		remaining[bottleneck] = 0
+		g.cnt[bottleneck] = 0
+	}
+	if unfrozen > 0 {
+		// No constrained links left: the remaining groups keep the sum
+		// accumulated so far, exactly like the reference's early break.
+		for gi := range g.groups {
+			grp := &g.groups[gi]
+			if !grp.frozen {
+				grp.rate = rateAcc
+			}
+		}
+	}
+
+	for _, f := range flows {
+		f.rate = g.groups[g.groupOf[int(f.pathID)]].rate
+	}
+}

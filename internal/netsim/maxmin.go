@@ -24,6 +24,14 @@ func (MaxMinFair) Allocate(flows []*Flow, caps []float64, scratch []float64) {
 // consumed in place. Flows with an empty path are given an unbounded share
 // by construction and must be excluded by the caller (Network never passes
 // them in).
+//
+// Link charging is link-centric: when the common fill level rises by delta,
+// each link is charged delta·(unfrozen flows on it) in ONE floating-point
+// operation rather than one subtraction per flow. This is the arithmetic
+// contract GroupedMaxMin reproduces — both compute the same float sequence
+// from the same integer link counts, which is what makes the grouped
+// allocator bit-identical to this reference (see grouped.go and the
+// differential tests).
 func maxMinFill(flows []*Flow, remaining []float64, base func(*Flow) float64) {
 	if len(flows) == 0 {
 		return
@@ -62,17 +70,21 @@ func maxMinFill(flows []*Flow, remaining []float64, base func(*Flow) float64) {
 			break
 		}
 		delta := bottleneckLevel - level
-		// Raise every unfrozen flow by delta, charging its links.
+		// Raise every unfrozen flow by delta, then charge each link once
+		// for all its unfrozen flows.
 		for i, f := range flows {
 			if frozen[i] {
 				continue
 			}
 			f.rate += delta
-			for _, l := range f.path {
-				remaining[l] -= delta
-				if remaining[l] < 0 {
-					remaining[l] = 0 // numerical dust
-				}
+		}
+		for l, cnt := range unfrozenOnLink {
+			if cnt == 0 {
+				continue
+			}
+			remaining[l] -= delta * float64(cnt)
+			if remaining[l] < 0 {
+				remaining[l] = 0 // numerical dust
 			}
 		}
 		level = bottleneckLevel

@@ -40,11 +40,18 @@ type Flow struct {
 	CrossRack bool
 
 	path      []topology.LinkID
+	pathID    int32 // dense id interned by Network.StartPath; 0 = not interned
 	remaining float64
 	rate      float64
 	done      func(*Flow)
 	canceled  bool
 }
+
+// PathID returns the flow's interned path identity: flows with equal link
+// paths share a PathID. Valid ids start at 1; 0 means the flow was built
+// outside Network.StartPath (tests constructing Flows directly) and cannot
+// be grouped.
+func (f *Flow) PathID() int32 { return f.pathID }
 
 // Canceled reports whether the flow was aborted via Network.Cancel.
 func (f *Flow) Canceled() bool { return f.canceled }
@@ -78,6 +85,17 @@ type Network struct {
 	caps     []float64 // current capacity: baseCaps scaled by link faults
 	baseCaps []float64 // capacities as registered by the topology
 	scratch  []float64
+
+	// Path interning: flows with byte-identical link paths share a dense
+	// pathID (starting at 1), the equivalence-class key GroupedMaxMin
+	// groups on. pathKey is a reused encoding buffer — map lookups via
+	// pathIDs[string(pathKey)] do not allocate; only the first sighting of
+	// a distinct path does.
+	pathIDs  map[string]int32
+	pathKey  []byte
+	numPaths int32
+
+	completedScratch []*Flow // reused each recompute for finished flows
 
 	lastAdvance  des.Time
 	completionEv *des.Event
@@ -118,6 +136,7 @@ func New(sim *des.Simulator, cluster *topology.Cluster, policy Policy) *Network 
 		caps:         caps,
 		baseCaps:     base,
 		scratch:      make([]float64, len(links)),
+		pathIDs:      make(map[string]int32),
 		LoopbackRate: 1e12, // ~instantaneous local copy
 		crossByJob:   make(map[int]float64),
 		linkBytes:    make([]float64, len(links)),
@@ -190,10 +209,31 @@ func (n *Network) StartPath(path []topology.LinkID, crossRack bool, bytes float6
 		})
 		return f
 	}
+	f.pathID = n.internPath(path)
 	n.flows = append(n.flows, f)
 	n.scheduleRecompute()
 	return f
 }
+
+// internPath returns the dense id shared by every flow with this exact link
+// path, assigning the next id on first sight. Ids start at 1 so the zero
+// value marks un-interned flows.
+func (n *Network) internPath(path []topology.LinkID) int32 {
+	n.pathKey = n.pathKey[:0]
+	for _, l := range path {
+		n.pathKey = append(n.pathKey, byte(l), byte(l>>8), byte(l>>16), byte(l>>24))
+	}
+	if id, ok := n.pathIDs[string(n.pathKey)]; ok {
+		return id
+	}
+	n.numPaths++
+	n.pathIDs[string(n.pathKey)] = n.numPaths
+	return n.numPaths
+}
+
+// NumPaths returns how many distinct link paths the network has seen — the
+// upper bound on GroupedMaxMin's equivalence-class count.
+func (n *Network) NumPaths() int { return int(n.numPaths) }
 
 // Cancel aborts an in-flight flow: its bandwidth is released at the next
 // recomputation and its completion callback never fires. Bytes already
@@ -272,9 +312,11 @@ func (n *Network) recompute() {
 
 	// Complete finished flows and drop canceled ones. Completion callbacks
 	// may start new flows; those schedule another recompute event rather
-	// than recursing.
-	var stillActive []*Flow
-	var completed []*Flow
+	// than recursing. The survivor filter runs in place (write index trails
+	// read index) and finished flows land in a reused scratch slice, so a
+	// steady-state recompute performs no slice allocations.
+	completed := n.completedScratch[:0]
+	w := 0
 	for _, f := range n.flows {
 		switch {
 		case f.canceled:
@@ -293,10 +335,14 @@ func (n *Network) recompute() {
 		case f.remaining <= completionEpsilon:
 			completed = append(completed, f)
 		default:
-			stillActive = append(stillActive, f)
+			n.flows[w] = f
+			w++
 		}
 	}
-	n.flows = stillActive
+	for i := w; i < len(n.flows); i++ {
+		n.flows[i] = nil // release dropped flows to the GC
+	}
+	n.flows = n.flows[:w]
 	for _, f := range completed {
 		f.remaining = 0
 		f.rate = 0
@@ -312,6 +358,10 @@ func (n *Network) recompute() {
 			f.done(f)
 		}
 	}
+	for i := range completed {
+		completed[i] = nil // don't let the scratch slice pin finished flows
+	}
+	n.completedScratch = completed[:0]
 
 	if n.completionEv != nil {
 		n.completionEv.Cancel()

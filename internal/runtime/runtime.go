@@ -385,9 +385,12 @@ func newRuntime(opts Options, jobs []*job.Job) (*runtime, error) {
 	if opts.InMemoryInput {
 		opts.OutputReplication = 1
 	}
+	// Default to the grouped fast-path allocator: bit-identical rates to
+	// MaxMinFair (see netsim/grouped.go) but stateful, so each run gets a
+	// fresh instance — required for parallel experiment sweeps.
 	netPolicy := opts.Network
 	if netPolicy == nil {
-		netPolicy = netsim.MaxMinFair{}
+		netPolicy = netsim.NewGroupedMaxMin()
 	}
 	sim := des.New()
 	rng := rand.New(rand.NewSource(opts.Seed))

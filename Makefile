@@ -5,13 +5,13 @@
 GO ?= go
 
 .PHONY: check ci-local fast-gate build vet fmt-check test race corralvet \
-	chaos fuzz bench bench-compare
+	chaos fuzz trace-determinism bench bench-compare
 
-check: build vet fmt-check test race corralvet chaos fuzz
+check: build vet fmt-check test race corralvet chaos fuzz trace-determinism
 	@echo "check: all gates passed"
 
 # One target per CI job, in the workflow's job order.
-ci-local: fast-gate test race chaos fuzz bench-compare
+ci-local: fast-gate test trace-determinism race chaos fuzz bench-compare
 	@echo "ci-local: all CI jobs passed"
 
 fast-gate: build vet fmt-check corralvet
@@ -53,13 +53,22 @@ chaos:
 fuzz:
 	$(GO) test ./internal/experiments -run 'TestFuzz|TestAttritionSweep' -count=1 -v
 
+# Trace-determinism gate: replaying a traced suite must reproduce the
+# JSONL and Chrome exports byte for byte, independent of seed plumbing,
+# sweep worker count and registration order — and the disabled tracer must
+# stay allocation-free. -count=1 defeats the test cache.
+trace-determinism:
+	$(GO) test ./internal/experiments -run 'TestTrace|TestTracing' -count=1 -v
+	$(GO) test ./internal/trace -count=1
+
 # Perf baseline: every benchmark once on the fast "s" profile — the
-# experiment harness in the repo root plus the netsim allocator
-# micro-benchmarks — captured as machine-readable JSON for trajectory
-# tracking. Rerun this (and commit the result) whenever a semantic metric
-# or the benchmark set intentionally changes.
+# experiment harness in the repo root, the netsim allocator
+# micro-benchmarks and the tracer's emit/export overhead — captured as
+# machine-readable JSON for trajectory tracking. Rerun this (and commit
+# the result) whenever a semantic metric or the benchmark set
+# intentionally changes.
 bench:
-	$(GO) test -run '^$$' -bench . -benchtime 1x . ./internal/netsim \
+	$(GO) test -run '^$$' -bench . -benchtime 1x . ./internal/netsim ./internal/trace \
 		| $(GO) run ./cmd/corralbench -o BENCH_baseline.json
 
 # Benchmark-regression gate: rerun the same benchmarks and diff against
@@ -68,5 +77,5 @@ bench:
 # past the tolerance. The fresh JSON lands in bench-fresh.json (uploaded
 # as a CI artifact) for inspection.
 bench-compare:
-	$(GO) test -run '^$$' -bench . -benchtime 1x . ./internal/netsim \
+	$(GO) test -run '^$$' -bench . -benchtime 1x . ./internal/netsim ./internal/trace \
 		| $(GO) run ./cmd/corralbench -o bench-fresh.json -compare BENCH_baseline.json -tol 50

@@ -34,9 +34,42 @@ func main() {
 			"trace count for the corralcheck fuzzer (implies -exp fuzz; 0 = bundled default)")
 		workers = flag.Int("workers", 0,
 			"worker pool bound for parallel experiment sweeps (0 = GOMAXPROCS, 1 = serial; results are identical for any value)")
+		tracePath = flag.String("trace", "",
+			"write a deterministic simulation-time event trace to this file (.jsonl = flat JSONL; any other extension = Chrome trace-event JSON, loadable in Perfetto)")
 	)
 	flag.Parse()
 	corral.SetSweepWorkers(*workers)
+
+	var collector *corral.TraceCollector
+	if *tracePath != "" {
+		collector = corral.NewTraceCollector()
+		corral.InstallTraceCollector(collector)
+	}
+	// writeTrace flushes the collected trace; idempotent so error paths can
+	// flush before exiting without double-writing on the deferred call.
+	writeTrace := func() {
+		if collector == nil {
+			return
+		}
+		c := collector
+		collector = nil
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		if strings.HasSuffix(*tracePath, ".jsonl") {
+			err = c.WriteJSONL(f)
+		} else {
+			err = c.WriteChrome(f)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal(fmt.Errorf("writing trace %s: %v", *tracePath, err))
+		}
+	}
+	defer writeTrace()
 
 	if *fuzzTraces > 0 || *exp == "fuzz" {
 		sz, err := parseSize(*size)
@@ -53,6 +86,7 @@ func main() {
 		}
 		fmt.Println(report)
 		if report.Values["violations"] != 0 {
+			writeTrace()
 			fatal(fmt.Errorf("%g invariant violations", report.Values["violations"]))
 		}
 		return

@@ -34,6 +34,7 @@ import (
 	"corral/internal/planner"
 	"corral/internal/runtime"
 	"corral/internal/topology"
+	"corral/internal/trace"
 	"corral/internal/workload"
 )
 
@@ -210,6 +211,11 @@ type SimConfig struct {
 	// state, AM restarts, job terminality); attach an InvariantMonitor to
 	// check the run. Nil disables probing.
 	Probe InvariantProbe
+	// Trace, if set, receives the run's deterministic simulation-time event
+	// stream. When nil, the simulation asks the installed process-wide
+	// TraceCollector for a run tracer; with no collector installed either,
+	// tracing is disabled at zero cost.
+	Trace *Tracer
 }
 
 // Failure kills one machine at a point in simulated time; Downtime > 0
@@ -282,8 +288,31 @@ func Simulate(cfg SimConfig, jobs []*Job) (*Result, error) {
 		AMRestartDelay:       cfg.AMRestartDelay,
 		Corruptions:          cfg.Corruptions,
 		Probe:                cfg.Probe,
+		Trace:                cfg.Trace,
 	}, jobs)
 }
+
+// Tracer records one run's deterministic simulation-time event stream
+// (task lifecycle, machine state, flows, link utilization, DFS activity,
+// planner decisions). A nil *Tracer is valid everywhere and disables
+// tracing at zero cost.
+type Tracer = trace.Tracer
+
+// TraceCollector aggregates the tracers of every run in a process and
+// exports them — in an order independent of execution interleaving — as
+// flat JSONL (WriteJSONL) or Chrome trace-event JSON loadable in Perfetto
+// (WriteChrome).
+type TraceCollector = trace.Collector
+
+// NewTraceCollector returns an empty collector; register runs with NewRun
+// or install it process-wide with InstallTraceCollector.
+func NewTraceCollector() *TraceCollector { return trace.NewCollector() }
+
+// InstallTraceCollector makes c the process-wide collector that Simulate,
+// PlanBatch, PlanOnline and Replan register their runs with when no
+// explicit Tracer is configured. Install(nil) disables implicit tracing
+// again.
+func InstallTraceCollector(c *TraceCollector) { trace.Install(c) }
 
 // Commitment reserves racks until an expected completion time during a
 // replan (§3.1 periodic replanning).

@@ -23,6 +23,7 @@ import (
 	"sort"
 
 	"corral/internal/topology"
+	"corral/internal/trace"
 )
 
 // DefaultBlockSize is the chunk size used when a Config leaves it zero.
@@ -131,6 +132,12 @@ type Store struct {
 	// may be live, but reads checksum-detect it and fail over; repair
 	// re-creates the slot from a clean holder and clears the mark.
 	corrupt map[replicaSlot]bool
+
+	// tr receives file-creation and corruption events; now supplies the
+	// simulation clock (the store has no simulator reference of its own).
+	// Both are nil until AttachTracer.
+	tr  *trace.Tracer
+	now func() float64
 }
 
 // replicaSlot names one replica of one block (Replicas[Slot]).
@@ -178,6 +185,20 @@ func (s *Store) MachineUp(m int) { s.view.alive[m] = true }
 // Alive reports whether machine m is up.
 func (s *Store) Alive(m int) bool { return s.view.alive[m] }
 
+// AttachTracer points the store at a run's tracer; now supplies simulation
+// time for its emissions. A nil tracer detaches.
+func (s *Store) AttachTracer(tr *trace.Tracer, now func() float64) {
+	s.tr = tr
+	s.now = now
+}
+
+func (s *Store) traceNow() float64 {
+	if s.now == nil {
+		return 0
+	}
+	return s.now()
+}
+
 // CorruptReplica marks one of block b's replicas on machine m as corrupt
 // (silent data corruption; detected by checksum on read). It reports
 // whether a clean replica on m existed to corrupt.
@@ -185,6 +206,7 @@ func (s *Store) CorruptReplica(b *Block, m int) bool {
 	for slot, r := range b.Replicas {
 		if r == m && !s.corrupt[replicaSlot{b, slot}] {
 			s.corrupt[replicaSlot{b, slot}] = true
+			s.tr.DFSCorrupt(s.traceNow(), m, b.Size)
 			return true
 		}
 	}
@@ -248,6 +270,7 @@ func (s *Store) Create(name string, size float64, policy Placement) (*File, erro
 		}
 	}
 	s.files[name] = f
+	s.tr.DFSCreate(s.traceNow(), name, size)
 	return f, nil
 }
 

@@ -194,6 +194,8 @@ func ChaosWithIntensities(p Params, intensities []float64) (*Report, error) {
 	for _, run := range rep.Runs {
 		y, d, pl := avgCompletion(run.Yarn), avgCompletion(run.CorralDrop), avgCompletion(run.CorralReplan)
 		ct := run.CorralReplan.CompletionTimes()
+		// Slowdown is +Inf when the clean baseline completed no jobs
+		// (cleanAvg 0); F renders that as "+Inf", keeping the row valid.
 		t.AddRow(metrics.F(run.Intensity, 2), metrics.F(y, 1), metrics.F(d, 1), metrics.F(pl, 1),
 			metrics.F(metrics.P50(ct), 1), metrics.F(metrics.P95(ct), 1), metrics.F(metrics.P99(ct), 1),
 			metrics.F(metrics.Slowdown(cleanAvg, pl), 2))

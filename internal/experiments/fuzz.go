@@ -340,6 +340,8 @@ func Attrition(p Params) (*Report, error) {
 	for _, run := range rep.Runs {
 		ct := run.Result.CompletionTimes()
 		avg := run.Result.AvgCompletionTime()
+		// Slowdown is +Inf when the clean baseline completed no jobs
+		// (cleanAvg 0); F renders that as "+Inf", keeping the row valid.
 		t.AddRow(metrics.F(run.Prob, 2), metrics.F(avg, 1),
 			metrics.F(metrics.P50(ct), 1), metrics.F(metrics.P95(ct), 1), metrics.F(metrics.P99(ct), 1),
 			metrics.F(float64(run.Result.FailedJobs), 0),

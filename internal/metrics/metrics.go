@@ -15,8 +15,10 @@ import (
 	"strings"
 )
 
-// Percentile returns the q-quantile (q in [0,1]) of values using nearest-
-// rank on a sorted copy. Returns NaN for empty input.
+// Percentile returns the q-quantile (q in [0,1]) of values by linear
+// interpolation between the two closest ranks of a sorted copy (the
+// "exclusive" variant over index q·(n−1); numpy's default). Returns NaN
+// for empty input.
 func Percentile(values []float64, q float64) float64 {
 	if len(values) == 0 {
 		return math.NaN()
@@ -71,10 +73,14 @@ func Reduction(base, value float64) float64 {
 }
 
 // Slowdown returns the multiplicative slowdown of faulty relative to clean:
-// faulty/clean. 1 means unaffected, 2 means twice as slow; 1 for a zero
-// clean baseline.
+// faulty/clean. 1 means unaffected, 2 means twice as slow. A zero clean
+// baseline with nonzero faulty is an infinite slowdown (+Inf); only 0/0 —
+// both runs free — reports 1.
 func Slowdown(clean, faulty float64) float64 {
 	if clean == 0 {
+		if faulty > 0 {
+			return math.Inf(1)
+		}
 		return 1
 	}
 	return faulty / clean

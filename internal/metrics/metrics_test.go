@@ -19,16 +19,38 @@ func TestPercentile(t *testing.T) {
 	if got := Percentile(v, 0.5); got != 3 {
 		t.Fatalf("p50 = %g", got)
 	}
-	// Interpolated.
-	if got := Percentile([]float64{0, 10}, 0.25); math.Abs(got-2.5) > 1e-9 {
-		t.Fatalf("interpolated p25 = %g, want 2.5", got)
-	}
 	if !math.IsNaN(Percentile(nil, 0.5)) {
 		t.Fatal("empty percentile not NaN")
 	}
 	// Input must not be mutated.
 	if v[0] != 4 {
 		t.Fatal("Percentile mutated its input")
+	}
+}
+
+// TestPercentileInterpolation pins the linear-interpolation contract
+// (index q·(n−1), fractional part blends the bracketing ranks) so it
+// cannot silently drift to nearest-rank: the chaos/fuzz baselines depend
+// on these exact values.
+func TestPercentileInterpolation(t *testing.T) {
+	cases := []struct {
+		values []float64
+		q      float64
+		want   float64
+	}{
+		{[]float64{0, 10}, 0.25, 2.5},       // idx 0.25: 0·0.75 + 10·0.25
+		{[]float64{0, 10}, 0.5, 5},          // exact midpoint
+		{[]float64{1, 2, 3, 4}, 0.5, 2.5},   // even n: blend of middle pair
+		{[]float64{1, 2, 3, 4}, 0.95, 3.85}, // idx 2.85: 3·0.15 + 4·0.85
+		{[]float64{10, 20, 30}, 0.75, 25},   // idx 1.5
+		{[]float64{7}, 0.5, 7},              // single element at any q
+		// Nearest-rank would give 4 here; interpolation must not.
+		{[]float64{1, 2, 3, 4, 5}, 0.7, 3.8}, // idx 2.8: 3·0.2 + 4·0.8
+	}
+	for _, c := range cases {
+		if got := Percentile(c.values, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Percentile(%v, %g) = %g, want %g", c.values, c.q, got, c.want)
+		}
 	}
 }
 
@@ -82,14 +104,28 @@ func TestReduction(t *testing.T) {
 }
 
 func TestSlowdown(t *testing.T) {
-	if got := Slowdown(10, 25); got != 2.5 {
-		t.Fatalf("Slowdown = %g, want 2.5", got)
+	cases := []struct {
+		name          string
+		clean, faulty float64
+		want          float64
+	}{
+		{"faster than clean", 10, 5, 0.5},
+		{"unaffected", 10, 10, 1},
+		{"2.5x slower", 10, 25, 2.5},
+		{"zero clean, nonzero faulty", 0, 5, math.Inf(1)},
+		{"both zero", 0, 0, 1},
+		{"zero faulty", 10, 0, 0},
 	}
-	if got := Slowdown(10, 10); got != 1 {
-		t.Fatalf("Slowdown = %g, want 1", got)
+	for _, c := range cases {
+		if got := Slowdown(c.clean, c.faulty); got != c.want {
+			t.Errorf("%s: Slowdown(%g, %g) = %g, want %g",
+				c.name, c.clean, c.faulty, got, c.want)
+		}
 	}
-	if got := Slowdown(0, 5); got != 1 {
-		t.Fatalf("Slowdown with zero clean = %g, want 1", got)
+	// The chaos/fuzz report tables format the value with F; an infinite
+	// slowdown must render, not panic or print a bogus finite number.
+	if got := F(Slowdown(0, 5), 2); got != "+Inf" {
+		t.Errorf("F(Slowdown(0, 5), 2) = %q, want \"+Inf\"", got)
 	}
 }
 

@@ -23,6 +23,7 @@ import (
 
 	"corral/internal/des"
 	"corral/internal/topology"
+	"corral/internal/trace"
 )
 
 // CoflowID groups flows whose collective completion matters (e.g., one
@@ -43,6 +44,7 @@ type Flow struct {
 	pathID    int32 // dense id interned by Network.StartPath; 0 = not interned
 	remaining float64
 	rate      float64
+	lastRate  float64 // last rate reported to the tracer
 	done      func(*Flow)
 	canceled  bool
 }
@@ -112,6 +114,17 @@ type Network struct {
 	// cancel or re-rate flows, and it must be deterministic.
 	OnAllocate func()
 
+	// Trace, if enabled, receives flow lifecycle events and per-link
+	// utilization samples at recompute points. A nil tracer (the default)
+	// keeps every emission on the disabled fast path.
+	Trace *trace.Tracer
+
+	// Tracer state, lazily allocated on first traced recompute: last
+	// reported per-link utilization (emit-on-change) and a per-link load
+	// accumulator reused across recomputes.
+	prevUtil  []float64
+	traceLoad []float64
+
 	// Accounting.
 	totalCross  float64
 	crossByJob  map[int]float64
@@ -165,12 +178,10 @@ func (n *Network) FlowsServed() int64 { return n.flowsServed }
 // safely start them from inside other completion callbacks.
 func (n *Network) Start(src, dst int, bytes float64, coflow CoflowID, jobID int, done func(*Flow)) *Flow {
 	if src == dst {
-		return n.StartPath(nil, false, bytes, coflow, jobID, done)
+		return n.startPath(nil, false, bytes, coflow, jobID, src, dst, done)
 	}
 	path, cross := n.cluster.Path(src, dst)
-	f := n.StartPath(path, cross, bytes, coflow, jobID, done)
-	f.Src, f.Dst = src, dst
-	return f
+	return n.startPath(path, cross, bytes, coflow, jobID, src, dst, done)
 }
 
 // StartPath begins a transfer over an explicit link path. The execution
@@ -178,14 +189,21 @@ func (n *Network) Start(src, dst int, bytes float64, coflow CoflowID, jobID int,
 // a set of machines rather than one NIC. An empty path is a loopback copy
 // at LoopbackRate, outside network sharing.
 func (n *Network) StartPath(path []topology.LinkID, crossRack bool, bytes float64, coflow CoflowID, jobID int, done func(*Flow)) *Flow {
+	return n.startPath(path, crossRack, bytes, coflow, jobID, -1, -1, done)
+}
+
+// startPath is the shared implementation: src/dst are the real endpoints
+// when known (Start), -1 for rack-aggregated path flows (StartPath), so
+// the trace records whatever endpoint identity exists.
+func (n *Network) startPath(path []topology.LinkID, crossRack bool, bytes float64, coflow CoflowID, jobID int, src, dst int, done func(*Flow)) *Flow {
 	if bytes < 0 {
 		panic(fmt.Sprintf("netsim: negative flow size %g", bytes))
 	}
 	n.nextID++
 	f := &Flow{
 		ID:        n.nextID,
-		Src:       -1,
-		Dst:       -1,
+		Src:       src,
+		Dst:       dst,
 		Bytes:     bytes,
 		Coflow:    coflow,
 		JobID:     jobID,
@@ -210,6 +228,7 @@ func (n *Network) StartPath(path []topology.LinkID, crossRack bool, bytes float6
 		return f
 	}
 	f.pathID = n.internPath(path)
+	n.Trace.FlowStart(float64(n.sim.Now()), f.ID, jobID, src, dst, bytes, crossRack)
 	n.flows = append(n.flows, f)
 	n.scheduleRecompute()
 	return f
@@ -262,6 +281,7 @@ func (n *Network) SetLinkCapacityFactor(id topology.LinkID, factor float64) {
 		panic(fmt.Sprintf("netsim: negative link capacity factor %g", factor))
 	}
 	n.caps[id] = n.baseCaps[id] * factor
+	n.Trace.LinkCap(float64(n.sim.Now()), int(id), n.caps[id])
 	n.scheduleRecompute()
 }
 
@@ -322,6 +342,7 @@ func (n *Network) recompute() {
 		case f.canceled:
 			// Account what actually crossed the wire before the abort.
 			sent := f.Bytes - f.remaining
+			n.Trace.FlowCancel(float64(n.sim.Now()), f.ID, sent)
 			if sent > 0 {
 				n.totalBytes += sent
 				if f.CrossRack {
@@ -346,6 +367,7 @@ func (n *Network) recompute() {
 	for _, f := range completed {
 		f.remaining = 0
 		f.rate = 0
+		n.Trace.FlowFinish(float64(n.sim.Now()), f.ID, f.Bytes)
 		n.flowsServed++
 		n.totalBytes += f.Bytes
 		if f.CrossRack {
@@ -368,6 +390,7 @@ func (n *Network) recompute() {
 		n.completionEv = nil
 	}
 	if len(n.flows) == 0 {
+		n.traceAllocation() // report links draining to zero utilization
 		return
 	}
 
@@ -375,6 +398,7 @@ func (n *Network) recompute() {
 	if n.OnAllocate != nil {
 		n.OnAllocate()
 	}
+	n.traceAllocation()
 
 	// Next completion.
 	next := math.Inf(1)
@@ -448,6 +472,45 @@ func (n *Network) scratchLoad() []float64 {
 
 // LinkBytes returns the bytes carried so far by the given link.
 func (n *Network) LinkBytes(id topology.LinkID) float64 { return n.linkBytes[id] }
+
+// traceAllocation reports the outcome of a rate recomputation to the
+// tracer: per-flow rate changes and per-link utilization changes, both
+// emit-on-change so stable allocations cost nothing. Runs only with a
+// tracer enabled; the whole walk is skipped on the disabled path.
+func (n *Network) traceAllocation() {
+	if !n.Trace.Enabled() {
+		return
+	}
+	now := float64(n.sim.Now())
+	if n.prevUtil == nil {
+		n.prevUtil = make([]float64, len(n.caps))
+		n.traceLoad = make([]float64, len(n.caps))
+	}
+	for l := range n.traceLoad {
+		n.traceLoad[l] = 0
+	}
+	for _, f := range n.flows {
+		//corralvet:ok floateq emit-on-change gate: exact rate identity means "nothing to report", near-equal rates are real changes
+		if f.rate != f.lastRate {
+			n.Trace.FlowRate(now, f.ID, f.rate)
+			f.lastRate = f.rate
+		}
+		for _, l := range f.path {
+			n.traceLoad[l] += f.rate
+		}
+	}
+	for l, load := range n.traceLoad {
+		util := 0.0
+		if n.caps[l] > 0 {
+			util = load / n.caps[l]
+		}
+		//corralvet:ok floateq emit-on-change gate: exact utilization identity means "nothing to report", near-equal samples are real changes
+		if util != n.prevUtil[l] {
+			n.Trace.LinkUtil(now, l, util)
+			n.prevUtil[l] = util
+		}
+	}
+}
 
 // Rates returns a snapshot of (flow, rate) for inspection in tests.
 func (n *Network) Rates() map[int64]float64 {

@@ -30,6 +30,7 @@ import (
 
 	"corral/internal/job"
 	"corral/internal/model"
+	"corral/internal/trace"
 )
 
 // Objective selects what the planner minimizes.
@@ -60,6 +61,39 @@ type Input struct {
 	// disables the penalty.
 	Alpha     float64
 	Objective Objective
+	// Trace, if set, receives plan_start/plan_assign/plan_done events for
+	// this invocation. When nil, New and Replan ask the process-wide trace
+	// collector for a run tracer (nil again keeps tracing disabled).
+	// TraceTime stamps the events: 0 for offline planning, the current
+	// simulated time for failure-triggered replans.
+	Trace     *trace.Tracer
+	TraceTime float64
+}
+
+// tracer resolves the invocation's tracer: the explicit Input.Trace, else
+// a collector-registered run, else nil (disabled).
+func (in *Input) tracer() *trace.Tracer {
+	if in.Trace != nil {
+		return in.Trace
+	}
+	return trace.NewRun(fmt.Sprintf("plan/%s/jobs%d", in.Objective, len(in.Jobs)))
+}
+
+// traceAssignments reports a materialized schedule to tr in job-ID order.
+func traceAssignments(tr *trace.Tracer, now float64, plan *Plan) {
+	if !tr.Enabled() {
+		return
+	}
+	ids := make([]int, 0, len(plan.Assignments))
+	for id := range plan.Assignments {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		a := plan.Assignments[id]
+		tr.PlanAssign(now, a.JobID, a.Priority, a.Start, a.Racks)
+	}
+	tr.PlanDone(now, plan.ObjectiveValue())
 }
 
 // Assignment is the planner's output for one job: the tuple {R_j, p_j}
@@ -104,6 +138,8 @@ func New(in Input) (*Plan, error) {
 	if J == 0 {
 		return plan, nil
 	}
+	tr := in.tracer()
+	tr.PlanStart(in.TraceTime, J, in.Objective.String())
 	alpha := in.Alpha
 	if alpha < 0 {
 		alpha = in.Cluster.DefaultAlpha()
@@ -165,6 +201,7 @@ func New(in Input) (*Plan, error) {
 	}
 	plan.Makespan = final.makespan
 	plan.AvgCompletion = final.avgCompletion
+	traceAssignments(tr, in.TraceTime, plan)
 	return plan, nil
 }
 

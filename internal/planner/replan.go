@@ -54,6 +54,8 @@ func Replan(in Input, now float64, commitments []Commitment) (*Plan, error) {
 	if J == 0 {
 		return plan, nil
 	}
+	tr := in.tracer()
+	tr.PlanStart(now, J, in.Objective.String())
 	alpha := in.Alpha
 	if alpha < 0 {
 		alpha = in.Cluster.DefaultAlpha()
@@ -113,6 +115,7 @@ func Replan(in Input, now float64, commitments []Commitment) (*Plan, error) {
 	}
 	plan.Makespan = final.makespan
 	plan.AvgCompletion = final.avgCompletion
+	traceAssignments(tr, now, plan)
 	return plan, nil
 }
 

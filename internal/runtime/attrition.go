@@ -42,6 +42,7 @@ import (
 	"corral/internal/des"
 	"corral/internal/dfs"
 	"corral/internal/invariants"
+	"corral/internal/trace"
 )
 
 // AMFailure kills job JobID's application master at a point in simulated
@@ -119,6 +120,8 @@ func (rt *runtime) crashAttempt(tk *runningTask) {
 	}
 	je := tk.je
 	rt.probe(invariants.TaskCrash, tk.machine, je.job.ID)
+	role, idx, att := tk.ident()
+	rt.tr.TaskCrash(float64(rt.sim.Now()), role, je.job.ID, tk.st.idx, idx, att, tk.machine)
 	var attempts int
 	if tk.mapT != nil {
 		tk.mapT.attempts++
@@ -134,6 +137,7 @@ func (rt *runtime) crashAttempt(tk *runningTask) {
 		return
 	}
 	backoff := rt.opts.RetryBackoff * math.Pow(2, float64(attempts-1))
+	rt.tr.TaskBackoff(float64(rt.sim.Now()), role, je.job.ID, tk.st.idx, idx, attempts, backoff)
 	rt.abortTask(tk, true, des.Time(backoff))
 }
 
@@ -149,6 +153,7 @@ func (rt *runtime) noteAttemptFailure(m int) {
 	}
 	rt.blacklisted[m] = true
 	rt.probe(invariants.Blacklist, m, -1)
+	rt.tr.Blacklist(float64(rt.sim.Now()), m)
 	rt.sim.After(des.Time(rt.opts.BlacklistCooldown), func() { rt.unblacklist(m) })
 }
 
@@ -161,6 +166,7 @@ func (rt *runtime) unblacklist(m int) {
 	rt.blacklisted[m] = false
 	rt.machineFailures[m] = 0
 	rt.probe(invariants.Unblacklist, m, -1)
+	rt.tr.Unblacklist(float64(rt.sim.Now()), m)
 	if rt.dead[m] {
 		// Died during the cooldown: recoverMachine re-admits it (and
 		// fires the repair hook) if the failure was transient.
@@ -184,6 +190,7 @@ func (rt *runtime) failJob(je *jobExec, reason string) {
 	rt.failedJobs++
 	rt.abortJobAttempts(je)
 	rt.probe(invariants.JobFail, -1, je.job.ID)
+	rt.tr.JobFail(float64(rt.sim.Now()), je.job.ID, reason)
 	rt.requestDispatch()
 }
 
@@ -218,6 +225,7 @@ func (rt *runtime) failAM(jobID int) {
 		return
 	}
 	rt.probe(invariants.AMFail, -1, jobID)
+	rt.tr.AMFail(float64(rt.sim.Now()), jobID)
 	je.amFailures++
 	if je.amFailures >= rt.opts.MaxAMAttempts {
 		rt.failJob(je, fmt.Sprintf("AM attempt budget (%d) exhausted", rt.opts.MaxAMAttempts))
@@ -243,6 +251,7 @@ func (rt *runtime) restartJob(je *jobExec) {
 		rt.recoverStage(st)
 	}
 	rt.probe(invariants.AMRestart, -1, je.job.ID)
+	rt.tr.AMRestart(float64(rt.sim.Now()), je.job.ID)
 	rt.requestDispatch()
 }
 
@@ -313,6 +322,7 @@ func (rt *runtime) recoverStage(st *stageExec) {
 		rT.attempts = 0
 		rT.speculated = false
 		st.reduceQ = append(st.reduceQ, rT)
+		rt.tr.TaskQueued(float64(rt.sim.Now()), trace.RoleReduce, st.je.job.ID, st.idx, rT.index, rT.attempts)
 	}
 }
 

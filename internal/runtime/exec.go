@@ -11,6 +11,7 @@ import (
 	"corral/internal/netsim"
 	"corral/internal/planner"
 	"corral/internal/topology"
+	"corral/internal/trace"
 )
 
 // jobExec is the application-master state for one job.
@@ -170,6 +171,7 @@ func (t *mapTask) nodeLocal(rt *runtime, m int) bool {
 func (rt *runtime) submit(je *jobExec) {
 	je.submitted = true
 	rt.probe(invariants.JobSubmit, -1, je.job.ID)
+	rt.tr.JobSubmit(float64(rt.sim.Now()), je.job.ID, je.job.Name, je.job.Slots())
 	je.racksTouched = make(map[int]bool)
 	if rt.opts.Scheduler == ShuffleWatcher && !je.job.AdHoc {
 		je.allowedRacks = rt.shuffleWatcherRacks(je)
@@ -280,6 +282,7 @@ func (rt *runtime) startStage(st *stageExec) {
 			st.anywhere = append(st.anywhere, t)
 		}
 		st.pendingMapCount++
+		rt.tr.TaskQueued(float64(rt.sim.Now()), trace.RoleMap, st.je.job.ID, st.idx, t.index, t.attempts)
 	}
 	rt.requestDispatch()
 }
@@ -292,10 +295,12 @@ func (rt *runtime) startStage(st *stageExec) {
 // clean copy) and handed to the re-replication daemon. If every live
 // replica is corrupt the read falls back to liveness-only selection — the
 // client retry loop eventually succeeds against a repaired copy, and
-// modelling that stall would add nothing the repair latency doesn't.
-func (rt *runtime) replicaClosest(t *mapTask, m int) int {
+// modelling that stall would add nothing the repair latency doesn't. The
+// second return reports whether the selection failed over past a corrupt
+// replica (surfaced in the trace as a block_read "failover").
+func (rt *runtime) replicaClosest(t *mapTask, m int) (int, bool) {
 	if t.blk == nil {
-		return t.srcMachine
+		return t.srcMachine, false
 	}
 	corruptSeen := false
 	usable := func(r int) bool {
@@ -339,10 +344,11 @@ func (rt *runtime) replicaClosest(t *mapTask, m int) int {
 			src = pickTiers(func(r int) bool { return !rt.dead[r] })
 		}
 	}
-	return src
+	return src, corruptSeen
 }
 
-// taskStarted/taskEnded maintain the queue-share accounting.
+// taskStarted/taskEnded maintain the queue-share accounting (and sample
+// the cluster-wide slot-occupancy counter for the trace).
 func (rt *runtime) taskStarted(je *jobExec) {
 	je.tasksLaunched++
 	if je.assignment != nil {
@@ -350,6 +356,7 @@ func (rt *runtime) taskStarted(je *jobExec) {
 	} else {
 		rt.runningAdhoc++
 	}
+	rt.tr.SlotsBusy(float64(rt.sim.Now()), rt.runningPlanned+rt.runningAdhoc)
 }
 
 func (rt *runtime) taskEnded(je *jobExec) {
@@ -358,6 +365,7 @@ func (rt *runtime) taskEnded(je *jobExec) {
 	} else {
 		rt.runningAdhoc--
 	}
+	rt.tr.SlotsBusy(float64(rt.sim.Now()), rt.runningPlanned+rt.runningAdhoc)
 }
 
 // runMap executes one map task on machine m: remote read (if the input is
@@ -369,9 +377,13 @@ func (rt *runtime) runMap(st *stageExec, t *mapTask, m int) {
 	rt.taskStarted(je)
 	je.racksTouched[rt.cluster.RackOf(m)] = true
 	tk := rt.track(je, st, t, nil, m)
+	rt.tr.TaskStart(float64(rt.sim.Now()), trace.RoleMap, je.job.ID, st.idx, t.index, t.attempts, m)
 	rt.armCrash(tk, t.bytes/st.profile.MapRate)
 
-	src := rt.replicaClosest(t, m)
+	src, failover := rt.replicaClosest(t, m)
+	if src >= 0 && src != m && !st.remoteStorage {
+		rt.tr.BlockRead(float64(rt.sim.Now()), je.job.ID, m, src, t.bytes, failover)
+	}
 	compute := func() {
 		nominal := t.bytes / st.profile.MapRate
 		dur := rt.computeDuration(tk, nominal)
@@ -379,6 +391,8 @@ func (rt *runtime) runMap(st *stageExec, t *mapTask, m int) {
 			tk.done = true
 			rt.finishTracking(tk)
 			rt.probe(invariants.TaskFinish, m, je.job.ID)
+			rt.tr.TaskFinish(float64(rt.sim.Now()), trace.RoleMap, je.job.ID, st.idx, t.index, t.attempts, m,
+				float64(rt.sim.Now()-tk.started))
 			je.taskSeconds += float64(rt.sim.Now() - tk.started)
 			rt.freeSlots[m]++
 			rt.taskEnded(je)
@@ -442,6 +456,7 @@ func (rt *runtime) finishMapsPhase(st *stageExec) {
 		rT := &reduceTask{index: i, doneOn: -1}
 		st.reduces = append(st.reduces, rT)
 		st.reduceQ = append(st.reduceQ, rT)
+		rt.tr.TaskQueued(float64(rt.sim.Now()), trace.RoleReduce, st.je.job.ID, st.idx, rT.index, rT.attempts)
 	}
 	rt.requestDispatch()
 }
@@ -456,6 +471,7 @@ func (rt *runtime) runReduce(st *stageExec, rT *reduceTask, m int) {
 	rt.taskStarted(je)
 	je.racksTouched[rt.cluster.RackOf(m)] = true
 	tk := rt.track(je, st, nil, rT, m)
+	rt.tr.TaskStart(float64(rt.sim.Now()), trace.RoleReduce, je.job.ID, st.idx, rT.index, rT.attempts, m)
 	p := st.profile
 	perReduce := p.ShuffleBytes / float64(p.ReduceTasks)
 	rt.armCrash(tk, p.OutputBytes/float64(p.ReduceTasks)/p.ReduceRate)
@@ -465,6 +481,7 @@ func (rt *runtime) runReduce(st *stageExec, rT *reduceTask, m int) {
 		rt.finishTracking(tk)
 		rt.probe(invariants.TaskFinish, m, je.job.ID)
 		dur := float64(rt.sim.Now() - tk.started)
+		rt.tr.TaskFinish(float64(rt.sim.Now()), trace.RoleReduce, je.job.ID, st.idx, rT.index, rT.attempts, m, dur)
 		je.taskSeconds += dur
 		je.reduceSeconds = append(je.reduceSeconds, dur)
 		rt.freeSlots[m]++
@@ -489,6 +506,7 @@ func (rt *runtime) runReduce(st *stageExec, rT *reduceTask, m int) {
 	}
 
 	compute := func() {
+		rt.tr.ShuffleDone(float64(rt.sim.Now()), je.job.ID, st.idx, rT.index, m)
 		nominal := p.OutputBytes / float64(p.ReduceTasks) / p.ReduceRate
 		tk.after(rt, des.Time(rt.computeDuration(tk, nominal)), write)
 	}
@@ -629,6 +647,7 @@ func (rt *runtime) finishStage(st *stageExec) {
 		je.completion = float64(rt.sim.Now())
 		rt.active--
 		rt.probe(invariants.JobDone, -1, je.job.ID)
+		rt.tr.JobDone(float64(rt.sim.Now()), je.job.ID)
 		rt.requestDispatch()
 		return
 	}

@@ -44,6 +44,7 @@ import (
 	"corral/internal/des"
 	"corral/internal/invariants"
 	"corral/internal/netsim"
+	"corral/internal/trace"
 )
 
 // Failure kills one machine at a point in simulated time. A positive
@@ -80,6 +81,14 @@ type runningTask struct {
 	watchdog *des.Event
 	events   []*des.Event
 	flows    []*netsim.Flow
+}
+
+// ident returns the attempt's trace identity (role, task index, attempt).
+func (tk *runningTask) ident() (trace.Role, int, int) {
+	if tk.mapT != nil {
+		return trace.RoleMap, tk.mapT.index, tk.mapT.attempts
+	}
+	return trace.RoleReduce, tk.redT.index, tk.redT.attempts
 }
 
 // track registers a new running attempt (exactly one of t, rT is set).
@@ -159,6 +168,8 @@ func (rt *runtime) abortTask(tk *runningTask, freeSlot bool, requeueDelay des.Ti
 	rt.finishTracking(tk)
 	rt.taskEnded(tk.je)
 	rt.probe(invariants.TaskAbort, tk.machine, tk.je.job.ID)
+	role, idx, att := tk.ident()
+	rt.tr.TaskAbort(float64(rt.sim.Now()), role, tk.je.job.ID, tk.st.idx, idx, att, tk.machine)
 	if freeSlot {
 		rt.freeSlots[tk.machine]++
 	}
@@ -176,6 +187,7 @@ func (rt *runtime) abortTask(tk *runningTask, freeSlot bool, requeueDelay des.Ti
 			rt.requeueMap(st, tk.mapT)
 		} else {
 			st.reduceQ = append(st.reduceQ, tk.redT)
+			rt.tr.TaskQueued(float64(rt.sim.Now()), trace.RoleReduce, je.job.ID, st.idx, tk.redT.index, tk.redT.attempts)
 		}
 		rt.requestDispatch()
 	}
@@ -192,6 +204,11 @@ func (rt *runtime) abortTask(tk *runningTask, freeSlot bool, requeueDelay des.Ti
 func (rt *runtime) requeueMap(st *stageExec, t *mapTask) {
 	t.assigned = false
 	st.pendingMapCount++
+	// Enabled-guarded: st.je may be nil for synthetic stages in tests, so
+	// even the argument expression must not run on the disabled path.
+	if rt.tr.Enabled() {
+		rt.tr.TaskQueued(float64(rt.sim.Now()), trace.RoleMap, st.je.job.ID, st.idx, t.index, t.attempts)
+	}
 	switch {
 	case t.blk != nil:
 		pushed := false
@@ -246,6 +263,7 @@ func (rt *runtime) recoverMachine(m int) {
 	rt.dead[m] = false
 	rt.deadCount--
 	rt.probe(invariants.MachineUp, m, -1)
+	rt.tr.MachineUp(float64(rt.sim.Now()), m)
 	rt.freeSlots[m] = rt.cluster.Config.SlotsPerMachine
 	rt.recoverAt[m] = math.Inf(1)
 	rt.store.MachineUp(m)
@@ -263,6 +281,7 @@ func (rt *runtime) failMachine(m int) {
 	rt.dead[m] = true
 	rt.deadCount++
 	rt.probe(invariants.MachineDown, m, -1)
+	rt.tr.MachineDown(float64(rt.sim.Now()), m)
 	rt.freeSlots[m] = 0
 	if math.IsInf(rt.recoverAt[m], 1) || rt.recoverAt[m] <= float64(rt.sim.Now()) {
 		rt.recoverAt[m] = math.Inf(1)

@@ -80,6 +80,7 @@ func (rt *runtime) startRepair(rep dfs.Repair) {
 	op := &repairOp{rep: rep}
 	rt.repairs[k] = op
 	rt.repairList = append(rt.repairList, op)
+	rt.tr.RepairStart(float64(rt.sim.Now()), rep.Src, rep.Dst, rep.Block.Size)
 	op.flow = rt.net.Start(rep.Src, rep.Dst, rep.Block.Size, 0, -1, func(*netsim.Flow) {
 		if op.canceled {
 			return
@@ -88,5 +89,7 @@ func (rt *runtime) startRepair(rep dfs.Repair) {
 		delete(rt.repairs, k)
 		rt.store.CommitRepair(op.rep)
 		rt.repairBytes += op.rep.Block.Size
+		rt.lastRepairDone = float64(rt.sim.Now())
+		rt.tr.RepairCommit(float64(rt.sim.Now()), op.rep.Src, op.rep.Dst, op.rep.Block.Size)
 	})
 }

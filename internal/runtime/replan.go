@@ -79,6 +79,9 @@ func (rt *runtime) replanOnFailure() {
 		return
 	}
 	rt.replans++
+	rt.tr.Replan(now, len(in.Jobs))
+	in.Trace = rt.tr
+	in.TraceTime = now
 	next, err := planner.Replan(in, now, commitments)
 	if err != nil {
 		return // constraint-drop fallback already applied

@@ -33,6 +33,7 @@ import (
 	"corral/internal/netsim"
 	"corral/internal/planner"
 	"corral/internal/topology"
+	"corral/internal/trace"
 )
 
 // Kind selects the cluster scheduling policy.
@@ -187,6 +188,12 @@ type Options struct {
 	// monitoring (see internal/invariants). It runs inside the simulation;
 	// it must be deterministic and must not call back into the runtime.
 	Probe invariants.Probe
+	// Trace, if set, receives the run's lifecycle events (task attempts,
+	// flows, failures, repairs — see internal/trace). When nil, the runtime
+	// asks the process-wide trace collector for a run tracer (installed by
+	// corralsim -trace); with no collector installed either, tracing stays
+	// on the zero-overhead disabled path.
+	Trace *trace.Tracer
 }
 
 // JobResult captures per-job outcomes.
@@ -234,6 +241,12 @@ type Result struct {
 	// repair daemon after machine failures); included in the network's
 	// total-byte accounting but not charged to any job.
 	RepairBytes float64
+	// QuiesceTime is when the cluster actually went quiet: the later of
+	// Makespan (last job completion) and the last DFS repair commit.
+	// Makespan deliberately excludes repair traffic — it is the paper's
+	// job-facing metric — so a repair tail still in flight after the last
+	// job finish shows up only here (and as the tracer's sim_end event).
+	QuiesceTime float64
 	// Replans counts failure-triggered planner re-invocations.
 	Replans int
 	// FailedJobs counts jobs that ended in terminal failure rather than
@@ -316,6 +329,12 @@ type runtime struct {
 	runningAdhoc   int
 	haveAdhoc      bool
 	havePlanned    bool
+
+	// Tracing: tr is nil (disabled fast path) unless Options.Trace is set
+	// or a process-wide collector is installed; lastRepairDone tracks the
+	// final repair commit for Result.QuiesceTime.
+	tr             *trace.Tracer
+	lastRepairDone float64
 }
 
 func newRuntime(opts Options, jobs []*job.Job) (*runtime, error) {
@@ -413,6 +432,26 @@ func newRuntime(opts Options, jobs []*job.Job) (*runtime, error) {
 	}
 	rt.blacklisted = make([]bool, m)
 	rt.machineFailures = make([]int, m)
+
+	// Attach tracing before any emission site (time-zero machine failures,
+	// input upload) can fire. An explicit Options.Trace wins; otherwise ask
+	// the process-wide collector, which returns nil (disabled) when no
+	// -trace flag installed one.
+	rt.tr = opts.Trace
+	if rt.tr == nil {
+		rt.tr = trace.NewRun(fmt.Sprintf("sim/%s/seed%d", opts.Scheduler, opts.Seed))
+	}
+	if rt.tr.Enabled() {
+		for mi := 0; mi < m; mi++ {
+			rt.tr.MachineMeta(mi, cluster.RackOf(mi))
+		}
+		for _, l := range cluster.Links() {
+			rt.tr.LinkMeta(int(l.ID), l.Name, l.Capacity)
+		}
+	}
+	rt.net.Trace = rt.tr
+	rt.store.AttachTracer(rt.tr, func() float64 { return float64(sim.Now()) })
+
 	if opts.Probe != nil {
 		// Audit the bandwidth allocator after every recompute: any negative
 		// or capacity-infeasible rate becomes an invariant violation.
@@ -440,6 +479,7 @@ func newRuntime(opts Options, jobs []*job.Job) (*runtime, error) {
 			rt.deadCount++
 			rt.freeSlots[f] = 0
 			rt.probe(invariants.MachineDown, f, -1)
+			rt.tr.MachineDown(0, f)
 			// Dead from time zero: no data was ever on them to repair, but
 			// the store must know not to place or read replicas there.
 			rt.store.MachineDown(f)
@@ -625,5 +665,7 @@ func (rt *runtime) run() (*Result, error) {
 			res.Makespan = je.completion
 		}
 	}
+	res.QuiesceTime = math.Max(res.Makespan, rt.lastRepairDone)
+	rt.tr.SimEnd(res.QuiesceTime)
 	return res, nil
 }

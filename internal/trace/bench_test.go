@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"io"
+	"testing"
+)
+
+// BenchmarkTracerDisabledEmit pins the disabled fast path: a nil tracer
+// must cost a handful of nanoseconds and zero allocations per emit —
+// this is what lets every runtime/netsim/dfs call site emit
+// unconditionally.
+func BenchmarkTracerDisabledEmit(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.TaskStart(1, RoleMap, 0, 0, i, 1, 2)
+		tr.TaskFinish(2, RoleMap, 0, 0, i, 1, 2, 1)
+		tr.FlowRate(1, int64(i), 0.5)
+		tr.LinkUtil(1, 3, 0.5)
+	}
+}
+
+// BenchmarkTracerEnabledEmit measures the live emission cost (amortized
+// slice append of one value-type Event).
+func BenchmarkTracerEnabledEmit(b *testing.B) {
+	tr := New("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.TaskStart(1, RoleMap, 0, 0, i, 1, 2)
+	}
+}
+
+func benchCollector(events int) *Collector {
+	c := NewCollector()
+	tr := c.NewRun("bench")
+	tr.MachineMeta(0, 0)
+	tr.LinkMeta(0, "l0", 1e9)
+	for i := 0; i < events; i++ {
+		tr.TaskStart(float64(i), RoleMap, 0, 0, i, 1, i%8)
+		tr.TaskFinish(float64(i)+1, RoleMap, 0, 0, i, 1, i%8, 1)
+		tr.LinkUtil(float64(i), 0, float64(i%10)/10)
+	}
+	return c
+}
+
+// BenchmarkWriteJSONL measures export throughput for a 3k-event run.
+func BenchmarkWriteJSONL(b *testing.B) {
+	c := benchCollector(1000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := c.WriteJSONL(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWriteChrome measures Chrome trace-event export for the same run.
+func BenchmarkWriteChrome(b *testing.B) {
+	c := benchCollector(1000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := c.WriteChrome(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

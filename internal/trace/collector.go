@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Collector gathers the tracers of one experiment invocation. Experiment
+// sweeps fan simulation runs out over a worker pool, so NewRun is
+// goroutine-safe; registration order is whatever the pool produced and is
+// deliberately NOT part of the export contract. Export ordering sorts
+// finished runs by (label, serialized content): two replays of the same
+// seeded experiment register the same run set with the same per-run
+// bytes, so the sorted output is bit-identical for any worker count —
+// runs with identical label AND identical content are interchangeable,
+// making the remaining tie order irrelevant.
+type Collector struct {
+	mu   sync.Mutex
+	runs []*Tracer
+}
+
+// NewCollector creates an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// NewRun registers and returns a tracer for one simulation or planner
+// run. The label should identify the run's configuration (scheduler,
+// seed, ...), not its execution order.
+func (c *Collector) NewRun(label string) *Tracer {
+	t := New(label)
+	c.mu.Lock()
+	c.runs = append(c.runs, t)
+	c.mu.Unlock()
+	return t
+}
+
+// Runs returns how many runs have registered.
+func (c *Collector) Runs() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.runs)
+}
+
+// Events returns the total event count across all runs.
+func (c *Collector) Events() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, t := range c.runs {
+		n += len(t.events)
+	}
+	return n
+}
+
+// runBlob is one run serialized for export: the label plus its JSONL
+// event lines (without the run header). Sorting on (label, blob) is the
+// collector's determinism mechanism.
+type runBlob struct {
+	label string
+	t     *Tracer
+	blob  []byte
+}
+
+// sortedRuns snapshots and orders the registered runs deterministically.
+func (c *Collector) sortedRuns() []runBlob {
+	c.mu.Lock()
+	runs := append([]*Tracer(nil), c.runs...)
+	c.mu.Unlock()
+	out := make([]runBlob, len(runs))
+	for i, t := range runs {
+		var b []byte
+		for ei := range t.events {
+			b = appendEventJSON(b, &t.events[ei])
+			b = append(b, '\n')
+		}
+		out[i] = runBlob{label: t.label, t: t, blob: b}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].label != out[j].label {
+			return out[i].label < out[j].label
+		}
+		return string(out[i].blob) < string(out[j].blob)
+	})
+	return out
+}
+
+// active is the process-wide collector, installed by corralsim -trace (or
+// tests). runtime.Run and planner.New consult it so the 20+ experiment
+// call sites need no per-site plumbing; nil (the default) keeps every
+// emit on the disabled fast path.
+var active atomic.Pointer[Collector]
+
+// Install makes c the process-wide collector; nil uninstalls. Callers
+// that install temporarily (tests) must uninstall before returning.
+func Install(c *Collector) { active.Store(c) }
+
+// Active returns the installed collector, or nil.
+func Active() *Collector { return active.Load() }
+
+// NewRun registers a run with the installed collector; with none
+// installed it returns a nil tracer (the disabled fast path).
+func NewRun(label string) *Tracer {
+	if c := Active(); c != nil {
+		return c.NewRun(label)
+	}
+	return nil
+}

@@ -7,20 +7,24 @@ GO ?= go
 .PHONY: check ci-local fast-gate build vet fmt-check test race corralvet \
 	chaos fuzz trace-determinism bench bench-compare
 
-check: build vet fmt-check test race corralvet chaos fuzz trace-determinism
+check: build vet fmt-check test race chaos fuzz trace-determinism
 	@echo "check: all gates passed"
 
 # One target per CI job, in the workflow's job order.
 ci-local: fast-gate test trace-determinism race chaos fuzz bench-compare
 	@echo "ci-local: all CI jobs passed"
 
-fast-gate: build vet fmt-check corralvet
+fast-gate: build vet fmt-check
 
 build:
 	$(GO) build ./...
 
+# vet is go vet plus the full corralvet suite (all nine checks), so a
+# seeded contract violation — a shared write in a parallelFor closure, a
+# fmt call on a //corral:hotpath function — fails `make vet` directly.
 vet:
 	$(GO) vet ./...
+	$(GO) run ./cmd/corralvet ./...
 
 fmt-check:
 	@out="$$(gofmt -l .)"; \
@@ -36,8 +40,11 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Standalone corralvet run with the machine-readable report, mirroring
+# the CI fast-gate step (the same run `make vet` performs without the
+# artifact).
 corralvet:
-	$(GO) run ./cmd/corralvet ./...
+	$(GO) run ./cmd/corralvet -report corralvet.json ./...
 
 # Chaos gate: two-seed determinism of the full fault-injection sweep plus
 # the graceful-degradation acceptance (replan <= drop <= yarn on the
@@ -68,7 +75,7 @@ trace-determinism:
 # the result) whenever a semantic metric or the benchmark set
 # intentionally changes.
 bench:
-	$(GO) test -run '^$$' -bench . -benchtime 1x . ./internal/netsim ./internal/trace \
+	$(GO) test -run '^$$' -bench . -benchtime 1x . ./internal/netsim ./internal/trace ./internal/analysis \
 		| $(GO) run ./cmd/corralbench -o BENCH_baseline.json
 
 # Benchmark-regression gate: rerun the same benchmarks and diff against
@@ -77,5 +84,5 @@ bench:
 # past the tolerance. The fresh JSON lands in bench-fresh.json (uploaded
 # as a CI artifact) for inspection.
 bench-compare:
-	$(GO) test -run '^$$' -bench . -benchtime 1x . ./internal/netsim ./internal/trace \
+	$(GO) test -run '^$$' -bench . -benchtime 1x . ./internal/netsim ./internal/trace ./internal/analysis \
 		| $(GO) run ./cmd/corralbench -o bench-fresh.json -compare BENCH_baseline.json -tol 50

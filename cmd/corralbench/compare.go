@@ -165,10 +165,10 @@ func compareMetrics(rep *driftReport, ob, fb *Benchmark, tolPct float64) {
 // baseline with a nonzero result counts as infinite drift.
 func driftPct(want, got float64) float64 {
 	diff := math.Abs(got - want)
-	if diff == 0 { //corralvet:ok floateq exact no-drift short-circuit
+	if diff == 0 { // exact no-drift short-circuit (literal sentinel, floateq-exempt)
 		return 0
 	}
-	if want == 0 { //corralvet:ok floateq guard before dividing by a zero baseline
+	if want == 0 { // guard before dividing by a zero baseline (literal sentinel, floateq-exempt)
 		return math.Inf(1)
 	}
 	return diff / math.Abs(want) * 100

@@ -1,44 +1,63 @@
-// Command corralvet runs the corral determinism & simulation-safety
-// analyzer suite (internal/analysis) over the given package patterns.
+// Command corralvet runs the corral contract-analyzer suite
+// (internal/analysis) over the given package patterns: the five
+// determinism checks from v1 (maporder, wallclock, seedrand, floateq,
+// ctxtime), the v2 concurrency/allocation contract checks (sweepsafe,
+// hotalloc, tracearg) and the suppression-inventory audit
+// (suppressstale).
 //
 // Usage:
 //
 //	go run ./cmd/corralvet ./...
-//	go run ./cmd/corralvet -c maporder,floateq ./internal/netsim
+//	go run ./cmd/corralvet -checks maporder,floateq ./internal/netsim
+//	go run ./cmd/corralvet -skip suppressstale ./internal/...
 //	go run ./cmd/corralvet -tests ./...
+//	go run ./cmd/corralvet -json ./...              # machine-readable findings on stdout
+//	go run ./cmd/corralvet -report corralvet.json ./...  # human text + JSON artifact
+//	go run ./cmd/corralvet -v ./...                 # per-check timing on stderr
 //	go run ./cmd/corralvet -list
 //
-// Exit status: 0 if clean, 1 if any diagnostic was reported, 2 on load
-// or usage errors. Findings print one per line as
+// Exit status distinguishes the failure mode so CI can attribute it:
+// 0 the tree is clean, 1 at least one finding was reported, 2 the
+// command could not run at all (usage, load or parse/type error).
+// Findings print one per line as
 //
 //	file:line:col: [check] message
 //
-// and intentional findings are suppressed in the source with a
-// //corralvet:ok <check> <reason> comment on the flagged line or the
-// line directly above (see DESIGN.md, "Determinism contract").
+// (with related positions and a suggested fix indented below, when the
+// analyzer provides them), and intentional findings are suppressed in
+// the source with a //corralvet:ok <check> <reason> comment on the
+// flagged line or the line directly above (see DESIGN.md, "Determinism
+// contract" and "Static contracts").
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"corral/internal/analysis"
 )
 
 func main() {
-	checks := flag.String("c", "", "comma-separated subset of checks to run (default: all)")
+	var checks, skip string
+	flag.StringVar(&checks, "c", "", "comma-separated subset of checks to run (default: all)")
+	flag.StringVar(&checks, "checks", "", "alias of -c")
+	flag.StringVar(&skip, "skip", "", "comma-separated checks to exclude from the selection")
 	tests := flag.Bool("tests", false, "also analyze _test.go files")
 	list := flag.Bool("list", false, "list available checks and exit")
+	jsonOut := flag.Bool("json", false, "write the findings as JSON to stdout instead of text")
+	reportFile := flag.String("report", "", "also write the JSON findings report to this file (CI artifact)")
+	verbose := flag.Bool("v", false, "print per-check timing to stderr")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: corralvet [-c checks] [-tests] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: corralvet [-checks list] [-skip list] [-tests] [-json] [-report file] [-v] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
 	if *list {
 		for _, a := range analysis.Analyzers() {
-			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-13s %s\n", a.Name, a.Doc)
 		}
 		return
 	}
@@ -47,7 +66,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	analyzers, err := analysis.ByName(*checks)
+	analyzers, err := analysis.Select(checks, skip)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "corralvet:", err)
 		os.Exit(2)
@@ -57,9 +76,41 @@ func main() {
 		fmt.Fprintln(os.Stderr, "corralvet:", err)
 		os.Exit(2)
 	}
-	diags := analysis.RunAnalyzers(pkgs, analyzers)
-	for _, d := range diags {
-		fmt.Println(d)
+	var clock func() time.Time
+	if *verbose {
+		clock = time.Now
+	}
+	diags, timings := analysis.RunAnalyzersTimed(pkgs, analyzers, clock)
+	if *verbose {
+		// Suite order, so a CI failure is attributable to a specific
+		// analyzer at a glance.
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "corralvet: %-13s %v\n", a.Name, timings[a.Name].Round(time.Microsecond))
+		}
+	}
+
+	rep := buildReport(analyzers, len(pkgs), diags)
+	if *reportFile != "" {
+		b, err := rep.marshal()
+		if err == nil {
+			err = os.WriteFile(*reportFile, b, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "corralvet: writing report:", err)
+			os.Exit(2)
+		}
+	}
+	if *jsonOut {
+		b, err := rep.marshal()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "corralvet:", err)
+			os.Exit(2)
+		}
+		os.Stdout.Write(b)
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "corralvet: %d finding(s)\n", len(diags))

@@ -1,0 +1,83 @@
+package main
+
+// Machine-readable corralvet output for CI annotation and artifact
+// upload. The schema is stable and the findings arrive pre-sorted in
+// (file, line, col, check) order from analysis.RunAnalyzers, so two runs
+// over the same tree produce byte-identical JSON — the same property the
+// analyzers themselves enforce on the simulator.
+
+import (
+	"encoding/json"
+
+	"corral/internal/analysis"
+)
+
+// reportVersion bumps when the JSON schema changes incompatibly.
+const reportVersion = 2
+
+// Report is the top-level -json / -report document.
+type Report struct {
+	Version  int           `json:"version"`
+	Checks   []string      `json:"checks"`   // analyzers that ran, in suite order
+	Packages int           `json:"packages"` // packages analyzed
+	Count    int           `json:"count"`    // len(findings)
+	Findings []jsonFinding `json:"findings"`
+}
+
+type jsonFinding struct {
+	File    string        `json:"file"`
+	Line    int           `json:"line"`
+	Col     int           `json:"col"`
+	Check   string        `json:"check"`
+	Message string        `json:"message"`
+	Related []jsonRelated `json:"related,omitempty"`
+	Fix     string        `json:"fix,omitempty"`
+}
+
+type jsonRelated struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+}
+
+// buildReport assembles the JSON document from a finished run.
+func buildReport(analyzers []*analysis.Analyzer, packages int, diags []analysis.Diagnostic) Report {
+	rep := Report{
+		Version:  reportVersion,
+		Checks:   []string{},
+		Packages: packages,
+		Count:    len(diags),
+		Findings: []jsonFinding{}, // [] not null when clean
+	}
+	for _, a := range analyzers {
+		rep.Checks = append(rep.Checks, a.Name)
+	}
+	for _, d := range diags {
+		f := jsonFinding{
+			File:    d.Pos.Filename,
+			Line:    d.Pos.Line,
+			Col:     d.Pos.Column,
+			Check:   d.Check,
+			Message: d.Message,
+			Fix:     d.Fix,
+		}
+		for _, r := range d.Related {
+			f.Related = append(f.Related, jsonRelated{
+				File: r.Pos.Filename, Line: r.Pos.Line, Col: r.Pos.Column, Message: r.Message,
+			})
+		}
+		rep.Findings = append(rep.Findings, f)
+	}
+	return rep
+}
+
+// marshal renders the report with a trailing newline, ready for a file
+// or stdout.
+func (r Report) marshal() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"go/token"
+	"testing"
+
+	"corral/internal/analysis"
+)
+
+// The -json / -report document is a CI artifact: its bytes must be a
+// pure function of the findings, with no null-vs-empty drift between a
+// clean and a dirty tree.
+
+func TestReportGoldenClean(t *testing.T) {
+	rep := buildReport([]*analysis.Analyzer{analysis.MapOrder, analysis.SweepSafe}, 3, nil)
+	b, err := rep.marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{
+  "version": 2,
+  "checks": [
+    "maporder",
+    "sweepsafe"
+  ],
+  "packages": 3,
+  "count": 0,
+  "findings": []
+}
+`
+	if string(b) != want {
+		t.Errorf("clean report drifted:\n got: %s\nwant: %s", b, want)
+	}
+}
+
+func TestReportGoldenWithFindings(t *testing.T) {
+	diags := []analysis.Diagnostic{
+		{
+			Pos:     token.Position{Filename: "a.go", Line: 3, Column: 7},
+			Check:   "sweepsafe",
+			Message: "non-slot write to sum captured by a parallelFor closure",
+			Related: []analysis.Related{{
+				Pos:     token.Position{Filename: "a.go", Line: 1, Column: 9},
+				Message: "closure passed to parallelFor here",
+			}},
+			Fix: "write only slots[i]",
+		},
+		{
+			// No related/fix: the omitempty fields must vanish, not nullify.
+			Pos:     token.Position{Filename: "b.go", Line: 10, Column: 2},
+			Check:   "wallclock",
+			Message: "time.Now in a simulation package",
+		},
+	}
+	rep := buildReport([]*analysis.Analyzer{analysis.SweepSafe}, 1, diags)
+	b, err := rep.marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{
+  "version": 2,
+  "checks": [
+    "sweepsafe"
+  ],
+  "packages": 1,
+  "count": 2,
+  "findings": [
+    {
+      "file": "a.go",
+      "line": 3,
+      "col": 7,
+      "check": "sweepsafe",
+      "message": "non-slot write to sum captured by a parallelFor closure",
+      "related": [
+        {
+          "file": "a.go",
+          "line": 1,
+          "col": 9,
+          "message": "closure passed to parallelFor here"
+        }
+      ],
+      "fix": "write only slots[i]"
+    },
+    {
+      "file": "b.go",
+      "line": 10,
+      "col": 2,
+      "check": "wallclock",
+      "message": "time.Now in a simulation package"
+    }
+  ]
+}
+`
+	if string(b) != want {
+		t.Errorf("report drifted:\n got: %s\nwant: %s", b, want)
+	}
+}
+
+func TestReportMarshalIsDeterministic(t *testing.T) {
+	rep := buildReport(analysis.Analyzers(), 12, []analysis.Diagnostic{
+		{Pos: token.Position{Filename: "x.go", Line: 1, Column: 1}, Check: "floateq", Message: "m"},
+	})
+	first, err := rep.marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		again, err := rep.marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(again) != string(first) {
+			t.Fatalf("marshal %d differs from first:\n%s\nvs\n%s", i, again, first)
+		}
+	}
+	if first[len(first)-1] != '\n' {
+		t.Error("report must end with a newline for clean artifact diffs")
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 )
 
 // An Analyzer is one named check over a type-checked package.
@@ -55,11 +56,37 @@ type Pass struct {
 
 // Reportf records a diagnostic at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
-	*p.diags = append(*p.diags, Diagnostic{
-		Pos:     p.Fset.Position(pos),
+	p.Report(Finding{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Finding is a diagnostic under construction: analyzers hand token.Pos
+// values and Report resolves them against the pass's FileSet, so checks
+// never deal in token.Position directly.
+type Finding struct {
+	Pos     token.Pos
+	Message string
+	Related []RelatedPos // optional secondary positions (e.g. the parallelFor call a closure was passed to)
+	Fix     string       // optional suggested-fix text, shown by -json consumers and CI annotations
+}
+
+// RelatedPos is one secondary position of a Finding.
+type RelatedPos struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Report records a structured diagnostic.
+func (p *Pass) Report(f Finding) {
+	d := Diagnostic{
+		Pos:     p.Fset.Position(f.Pos),
 		Check:   p.Analyzer.Name,
-		Message: fmt.Sprintf(format, args...),
-	})
+		Message: f.Message,
+		Fix:     f.Fix,
+	}
+	for _, r := range f.Related {
+		d.Related = append(d.Related, Related{Pos: p.Fset.Position(r.Pos), Message: r.Message})
+	}
+	*p.diags = append(*p.diags, d)
 }
 
 // Diagnostic is one finding.
@@ -67,13 +94,30 @@ type Diagnostic struct {
 	Pos     token.Position
 	Check   string
 	Message string
+	Related []Related // secondary positions, in analyzer-chosen order
+	Fix     string    // suggested fix, empty when the analyzer has none
+}
+
+// Related is a resolved secondary position attached to a Diagnostic.
+type Related struct {
+	Pos     token.Position
+	Message string
 }
 
 func (d Diagnostic) String() string {
-	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+	s := fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+	for _, r := range d.Related {
+		s += fmt.Sprintf("\n\t%s:%d:%d: %s", r.Pos.Filename, r.Pos.Line, r.Pos.Column, r.Message)
+	}
+	if d.Fix != "" {
+		s += fmt.Sprintf("\n\tfix: %s", d.Fix)
+	}
+	return s
 }
 
-// Analyzers returns the full corralvet suite in stable order.
+// Analyzers returns the full corralvet suite in stable order: the five
+// determinism checks from v1, then the v2 concurrency/allocation contract
+// checks, then the suppression-inventory audit.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		MapOrder,
@@ -81,6 +125,10 @@ func Analyzers() []*Analyzer {
 		SeedRand,
 		FloatEq,
 		CtxTime,
+		SweepSafe,
+		HotAlloc,
+		TraceArg,
+		SuppressStale,
 	}
 }
 
@@ -108,6 +156,37 @@ func ByName(names string) ([]*Analyzer, error) {
 	return out, nil
 }
 
+// Select resolves the -checks / -skip pair: checks names the subset to
+// run (empty means all), skip removes checks from that subset. Both
+// validate their names so a typo cannot silently run the wrong gate.
+func Select(checks, skip string) ([]*Analyzer, error) {
+	selected, err := ByName(checks)
+	if err != nil {
+		return nil, err
+	}
+	if skip == "" {
+		return selected, nil
+	}
+	drop, err := ByName(skip)
+	if err != nil {
+		return nil, err
+	}
+	dropSet := map[string]bool{}
+	for _, a := range drop {
+		dropSet[a.Name] = true
+	}
+	var out []*Analyzer
+	for _, a := range selected {
+		if !dropSet[a.Name] {
+			out = append(out, a)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("check selection %q minus %q leaves nothing to run", checks, skip)
+	}
+	return out, nil
+}
+
 // suppressionDirective is the comment prefix recognized on the flagged
 // line or the line directly above it.
 const suppressionDirective = "corralvet:ok"
@@ -118,8 +197,16 @@ type suppressionKey struct {
 	line int
 }
 
-// suppressions maps (file, line) -> set of suppressed check names.
-type suppressions map[suppressionKey]map[string]bool
+// suppression is one well-formed //corralvet:ok directive. used flips
+// when the directive absorbs at least one raw diagnostic, which is what
+// the suppressstale audit cross-references.
+type suppression struct {
+	pos  token.Position // the directive comment itself
+	used bool
+}
+
+// suppressions maps (file, line) -> suppressed check name -> directive.
+type suppressions map[suppressionKey]map[string]*suppression
 
 // collectSuppressions scans the comments of files for corralvet:ok
 // directives. Malformed directives (no check name, or no reason) are
@@ -156,9 +243,9 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File, knownChecks map
 				}
 				k := suppressionKey{file: pos.Filename, line: pos.Line}
 				if sup[k] == nil {
-					sup[k] = map[string]bool{}
+					sup[k] = map[string]*suppression{}
 				}
-				sup[k][fields[0]] = true
+				sup[k][fields[0]] = &suppression{pos: pos}
 			}
 		}
 	}
@@ -166,23 +253,51 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File, knownChecks map
 }
 
 // suppressed reports whether d is covered by a directive on its line or
-// the line directly above.
+// the line directly above, marking every covering directive as used (a
+// diagnostic reachable from two directives keeps both alive).
 func (s suppressions) suppressed(d Diagnostic) bool {
+	hit := false
 	for _, line := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
-		if s[suppressionKey{file: d.Pos.Filename, line: line}][d.Check] {
-			return true
+		if sup := s[suppressionKey{file: d.Pos.Filename, line: line}][d.Check]; sup != nil {
+			sup.used = true
+			hit = true
 		}
 	}
-	return false
+	return hit
 }
+
+// Timings is per-analyzer elapsed time summed over all packages.
+type Timings map[string]time.Duration
 
 // RunAnalyzers applies the given analyzers to every package and returns
 // the surviving (non-suppressed) diagnostics in (file, line, col, check)
-// order, plus diagnostics for malformed suppression comments.
+// order, plus diagnostics for malformed suppression comments and (when
+// the suppressstale audit is selected) for directives that no longer
+// suppress anything.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := RunAnalyzersTimed(pkgs, analyzers, nil)
+	return diags
+}
+
+// RunAnalyzersTimed is RunAnalyzers with per-check wall-clock attribution
+// for `corralvet -v`. The clock is injected (pass time.Now) so this
+// package itself never reads the host clock; a nil clock skips timing.
+func RunAnalyzersTimed(pkgs []*Package, analyzers []*Analyzer, clock func() time.Time) ([]Diagnostic, Timings) {
 	known := map[string]bool{}
+	auditStale := false
 	for _, a := range Analyzers() {
 		known[a.Name] = true
+	}
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+		if a == SuppressStale {
+			auditStale = true
+		}
+	}
+	var timings Timings
+	if clock != nil {
+		timings = Timings{}
 	}
 	var out []Diagnostic
 	for _, pkg := range pkgs {
@@ -197,7 +312,13 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				Module:   pkg.Module,
 				diags:    &raw,
 			}
+			if clock == nil {
+				a.Run(pass)
+				continue
+			}
+			start := clock()
 			a.Run(pass)
+			timings[a.Name] += clock().Sub(start)
 		}
 		sup, bad := collectSuppressions(pkg.Fset, pkg.Files, known)
 		for _, d := range raw {
@@ -206,6 +327,9 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 			}
 		}
 		out = append(out, bad...)
+		if auditStale {
+			out = append(out, auditSuppressions(sup, ran)...)
+		}
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
@@ -220,7 +344,7 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Check < b.Check
 	})
-	return out
+	return out, timings
 }
 
 // exprString renders an expression compactly for diagnostics and for the

@@ -1,0 +1,300 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HotAlloc is an allocation-site analyzer for functions marked with a
+// //corral:hotpath directive in their doc comment. The marked functions
+// are the simulator's per-event inner loops — the grouped allocator's
+// recompute path and the tracer's emit methods — whose allocation-free
+// steady state is load-bearing (the ROADMAP's 10k-machine runs execute
+// them millions of times) but is only guarded dynamically, by two
+// benchmarks that miss unexecuted branches. HotAlloc flags the
+// allocation idioms that creep into such code:
+//
+//   - composite literals whose address is taken (&T{...}: heap escape),
+//   - slice literals with elements and map literals (always allocate),
+//   - any call into package fmt (formats into fresh buffers and boxes
+//     every operand),
+//   - string concatenation (builds a fresh string each evaluation),
+//   - interface boxing of scalar arguments (a basic-typed value passed
+//     to an interface parameter allocates unless inlined away),
+//   - append growth on a local slice declared without capacity (var s
+//     []T / s := []T{} / make(len 0): every growth reallocates).
+//
+// Value composite literals, appends to reused scratch reachable from the
+// receiver or captured state, and make calls on the grow-once path are
+// deliberately not flagged — round-stamped scratch reuse is exactly the
+// idiom the hot paths are built on (see netsim/grouped.go).
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "allocation sites (escaping literals, fmt, string concat, boxing, growing append) in //corral:hotpath functions",
+	Run:  runHotAlloc,
+}
+
+// hotPathMarker is the doc-comment directive that opts a function in.
+const hotPathMarker = "corral:hotpath"
+
+// isHotPath reports whether fd's doc comment carries //corral:hotpath.
+func isHotPath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if strings.HasPrefix(text, hotPathMarker) {
+			return true
+		}
+	}
+	return false
+}
+
+func runHotAlloc(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotPath(fd) {
+				continue
+			}
+			checkHotPathFunc(pass, fd)
+		}
+	}
+}
+
+func checkHotPathFunc(pass *Pass, fd *ast.FuncDecl) {
+	unprealloc := unpreallocatedLocals(pass, fd.Body)
+	concats := stringConcats(pass, fd.Body)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					pass.Report(Finding{
+						Pos:     n.Pos(),
+						Message: "address of composite literal escapes to the heap on the //corral:hotpath function " + fd.Name.Name,
+						Fix:     "reuse a preallocated object (round-stamped scratch) or pass the value itself",
+					})
+				}
+			}
+		case *ast.CompositeLit:
+			checkHotPathComposite(pass, fd, n)
+		case *ast.BinaryExpr:
+			if concats[n] {
+				pass.Report(Finding{
+					Pos:     n.OpPos,
+					Message: "string concatenation allocates on the //corral:hotpath function " + fd.Name.Name,
+					Fix:     "append into a reused []byte scratch buffer instead",
+				})
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 {
+				if tv, ok := pass.Info.Types[n.Lhs[0]]; ok && isString(tv.Type) {
+					pass.Report(Finding{
+						Pos:     n.TokPos,
+						Message: "string concatenation allocates on the //corral:hotpath function " + fd.Name.Name,
+						Fix:     "append into a reused []byte scratch buffer instead",
+					})
+				}
+			}
+		case *ast.CallExpr:
+			checkHotPathCall(pass, fd, n, unprealloc)
+		}
+		return true
+	})
+}
+
+// checkHotPathComposite flags slice literals with elements and all map
+// literals. Struct/array values live on the stack and empty slice
+// literals point at the runtime's zero base, so neither is reported
+// (empty-slice append growth is the unpreallocatedLocals rule's job).
+func checkHotPathComposite(pass *Pass, fd *ast.FuncDecl, lit *ast.CompositeLit) {
+	tv, ok := pass.Info.Types[lit]
+	if !ok {
+		return
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Slice:
+		if len(lit.Elts) > 0 {
+			pass.Report(Finding{
+				Pos:     lit.Pos(),
+				Message: "slice literal allocates on the //corral:hotpath function " + fd.Name.Name,
+				Fix:     "hoist to a package-level table or reuse scratch",
+			})
+		}
+	case *types.Map:
+		pass.Report(Finding{
+			Pos:     lit.Pos(),
+			Message: "map literal allocates on the //corral:hotpath function " + fd.Name.Name,
+			Fix:     "hoist to a package-level table or use round-stamped dense slices",
+		})
+	}
+}
+
+func checkHotPathCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr, unprealloc map[types.Object]bool) {
+	if f := calleeFunc(pass.Info, call); f != nil && f.Pkg() != nil && f.Pkg().Path() == "fmt" {
+		pass.Report(Finding{
+			Pos:     call.Pos(),
+			Message: "fmt." + f.Name() + " allocates (buffer + boxed operands) on the //corral:hotpath function " + fd.Name.Name,
+			Fix:     "use strconv appends into reused scratch, or move formatting off the hot path",
+		})
+		return // don't double-report every operand as boxing below
+	}
+	if isBuiltinAppend(pass.Info, call) && len(call.Args) > 0 {
+		if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok && unprealloc[pass.Info.ObjectOf(id)] {
+			pass.Report(Finding{
+				Pos:     call.Pos(),
+				Message: "append grows un-preallocated local slice " + id.Name + " on the //corral:hotpath function " + fd.Name.Name,
+				Fix:     "preallocate with make(len 0, cap n) or reuse scratch truncated with s[:0]",
+			})
+		}
+		return
+	}
+	checkHotPathBoxing(pass, fd, call)
+}
+
+// checkHotPathBoxing flags basic-typed (scalar/string) arguments passed
+// to interface parameters: the conversion boxes the scalar on the heap.
+// Type-parameter params are exempt — generic calls instantiate, they do
+// not box.
+func checkHotPathBoxing(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+	tv, ok := pass.Info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok {
+		return // conversion, builtin, or type expression
+	}
+	np := sig.Params().Len()
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			if call.Ellipsis.IsValid() {
+				continue // s... passes the slice through, no boxing
+			}
+			param = sig.Params().At(np - 1).Type().(*types.Slice).Elem()
+		case i < np:
+			param = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		if _, isTP := param.(*types.TypeParam); isTP {
+			continue
+		}
+		if _, isIface := param.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		atv, ok := pass.Info.Types[arg]
+		if !ok || atv.IsNil() || atv.Value != nil {
+			continue // constants convert via static data, no runtime box
+		}
+		if _, isBasic := atv.Type.Underlying().(*types.Basic); isBasic {
+			pass.Report(Finding{
+				Pos:     arg.Pos(),
+				Message: "scalar argument " + exprString(arg) + " boxes into an interface parameter on the //corral:hotpath function " + fd.Name.Name,
+				Fix:     "keep hot-path signatures scalar-typed (see the tracearg contract) or hoist the call off the hot path",
+			})
+		}
+	}
+}
+
+// isString reports whether t's underlying type is string.
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// stringConcats collects the outermost string-typed + expressions in
+// body: a+b+c parses as (a+b)+c and should read as one finding, so inner
+// operands of a reported concat are excluded.
+func stringConcats(pass *Pass, body *ast.BlockStmt) map[*ast.BinaryExpr]bool {
+	all := map[*ast.BinaryExpr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if b, ok := n.(*ast.BinaryExpr); ok && b.Op == token.ADD {
+			// Constant folds ("a"+"b") cost nothing at run time.
+			if tv, ok := pass.Info.Types[b]; ok && isString(tv.Type) && tv.Value == nil {
+				all[b] = true
+			}
+		}
+		return true
+	})
+	for b := range all {
+		if x, ok := ast.Unparen(b.X).(*ast.BinaryExpr); ok {
+			delete(all, x)
+		}
+		if y, ok := ast.Unparen(b.Y).(*ast.BinaryExpr); ok {
+			delete(all, y)
+		}
+	}
+	return all
+}
+
+// unpreallocatedLocals finds body-local slice variables declared with no
+// capacity — `var s []T`, `s := []T{}`, `s := make([]T, 0)` — whose
+// appends therefore reallocate as they grow. Receiver/param/captured
+// slices are excluded: appending to those is the reusable-scratch idiom.
+func unpreallocatedLocals(pass *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	mark := func(id *ast.Ident, init ast.Expr) {
+		obj := pass.Info.Defs[id]
+		if obj == nil {
+			return
+		}
+		if _, isSlice := obj.Type().Underlying().(*types.Slice); !isSlice {
+			return
+		}
+		if init == nil {
+			out[obj] = true // var s []T
+			return
+		}
+		switch e := ast.Unparen(init).(type) {
+		case *ast.CompositeLit:
+			if len(e.Elts) == 0 {
+				out[obj] = true // s := []T{}
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && id.Name == "make" && len(e.Args) == 2 {
+				if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+					if lit, ok := ast.Unparen(e.Args[1]).(*ast.BasicLit); ok && lit.Value == "0" {
+						out[obj] = true // s := make([]T, 0)
+					}
+				}
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GenDecl:
+			for _, spec := range n.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if i < len(vs.Values) {
+						mark(name, vs.Values[i])
+					} else {
+						mark(name, nil)
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE || len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					mark(id, n.Rhs[i])
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

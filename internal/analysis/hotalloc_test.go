@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHotAllocIgnoresUnmarkedFunctions(t *testing.T) {
+	runFixture(t, HotAlloc, `package fixture
+
+import "fmt"
+
+// cold has no //corral:hotpath marker: every allocation idiom is fine.
+func cold(n int, name string) string {
+	m := map[int]int{n: n}
+	_ = m
+	p := &struct{ n int }{n}
+	_ = p
+	return fmt.Sprintf("%d", n) + name
+}
+`)
+}
+
+func TestHotAllocFlagsAllocationIdioms(t *testing.T) {
+	runFixture(t, HotAlloc, `package fixture
+
+import "fmt"
+
+type rec struct {
+	vals []int
+	name string
+}
+
+func box(v any) {}
+
+//corral:hotpath
+func hot(r *rec, n int, name string) {
+	r.vals = append(r.vals, n) // receiver-reachable scratch: fine
+	pre := make([]int, 0, n)
+	pre = append(pre, n) // preallocated: fine
+	_ = pre
+	val := rec{name: name} // value composite: stack, fine
+	_ = val
+	box(3)         // constant converts via static data: fine
+	box(&val)      // pointer arg is already a word: fine
+
+	var local []int
+	local = append(local, n) // want hotalloc
+	_ = local
+	zero := make([]int, 0)
+	zero = append(zero, n) // want hotalloc
+	_ = zero
+	s := fmt.Sprintf("%d", n) // want hotalloc
+	_ = s
+	_ = name + "!" // want hotalloc
+	acc := ""
+	acc += name // want hotalloc
+	_ = acc
+	p := &rec{} // want hotalloc
+	_ = p
+	lits := []int{1, 2} // want hotalloc
+	_ = lits
+	m := map[int]int{} // want hotalloc
+	_ = m
+	box(n) // want hotalloc
+}
+`)
+}
+
+// A chained concatenation a+b+c is one allocation cascade and must read
+// as one finding, not one per + operator.
+func TestHotAllocReportsChainedConcatOnce(t *testing.T) {
+	pkg := checkFixture(t, "corral/internal/fixture", `package fixture
+
+//corral:hotpath
+func chain(a, b, c string) string {
+	return a + b + c
+}
+`)
+	diags := RunAnalyzers([]*Package{pkg}, []*Analyzer{HotAlloc})
+	if len(diags) != 1 {
+		t.Fatalf("want one finding for the whole chain, got %v", diags)
+	}
+	if !strings.Contains(diags[0].Message, "string concatenation") {
+		t.Errorf("unexpected message: %s", diags[0].Message)
+	}
+}
+
+// TestHotAllocFiresOnSeededBug backs the acceptance criterion "seeding a
+// fmt.Sprintf into a hotpath function makes make vet fail".
+func TestHotAllocFiresOnSeededBug(t *testing.T) {
+	pkg := checkFixture(t, "corral/internal/fixture", `package fixture
+
+import "fmt"
+
+//corral:hotpath
+func seeded(n int) string {
+	return fmt.Sprintf("rate=%d", n)
+}
+`)
+	diags := RunAnalyzers([]*Package{pkg}, []*Analyzer{HotAlloc})
+	if len(diags) != 1 {
+		t.Fatalf("seeded fmt.Sprintf on a hotpath: want exactly 1 finding, got %v", diags)
+	}
+	d := diags[0]
+	if d.Check != "hotalloc" || !strings.Contains(d.Message, "fmt.Sprintf") || d.Fix == "" {
+		t.Errorf("finding should name fmt.Sprintf and carry a fix: %+v", d)
+	}
+}
+
+// The marker must sit in the doc comment; one buried in the body does
+// not opt the function in.
+func TestHotAllocMarkerMustBeInDocComment(t *testing.T) {
+	runFixture(t, HotAlloc, `package fixture
+
+import "fmt"
+
+func notMarked(n int) string {
+	//corral:hotpath
+	return fmt.Sprintf("%d", n)
+}
+`)
+}

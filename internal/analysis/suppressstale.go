@@ -1,0 +1,58 @@
+package analysis
+
+import "sort"
+
+// SuppressStale cross-references every well-formed //corralvet:ok
+// directive against the diagnostics its named check actually raised and
+// reports directives that no longer suppress anything. Suppressions are
+// the escape hatch of every other analyzer; without this audit the
+// annotation inventory rots — code gets refactored, the finding moves or
+// disappears, and the stale comment keeps granting an exemption at a
+// line where a new, genuine violation could later land unseen.
+//
+// A directive is audited only when its named check ran in the same
+// invocation (running `-checks maporder` must not condemn a floateq
+// annotation), and only well-formed directives are considered — the
+// malformed/unknown-check forms are already reported unconditionally by
+// the framework.
+//
+// The audit is framework-driven: it needs every analyzer's raw (pre-
+// suppression) diagnostics, which a per-package Run hook never sees, so
+// RunAnalyzers performs it after the suppression filter when this
+// analyzer is selected. Run is therefore a no-op.
+var SuppressStale = &Analyzer{
+	Name: "suppressstale",
+	Doc:  "//corralvet:ok directives that no longer suppress any diagnostic of a check that ran",
+	Run:  func(*Pass) {},
+}
+
+// auditSuppressions returns one diagnostic per unused directive whose
+// check is in ran. Results are collected from the suppression map and
+// sorted by position so the audit's output is deterministic.
+func auditSuppressions(sup suppressions, ran map[string]bool) []Diagnostic {
+	var stale []Diagnostic
+	for _, byCheck := range sup {
+		for check, s := range byCheck {
+			if s.used || !ran[check] {
+				continue
+			}
+			stale = append(stale, Diagnostic{
+				Pos:     s.pos,
+				Check:   SuppressStale.Name,
+				Message: "stale suppression: no " + check + " diagnostic on this line or the line below; delete the //corralvet:ok or re-justify it",
+				Fix:     "remove the //corralvet:ok " + check + " directive",
+			})
+		}
+	}
+	sort.Slice(stale, func(i, j int) bool {
+		a, b := stale[i], stale[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Message < b.Message
+	})
+	return stale
+}

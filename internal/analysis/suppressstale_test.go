@@ -1,0 +1,195 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+	"time"
+)
+
+// suppressstale needs the framework's pre-suppression view, so these
+// tests drive RunAnalyzers with multi-analyzer selections directly
+// instead of the single-analyzer runFixture harness.
+
+const staleFixture = `package fixture
+
+import "time"
+
+// live: the directive absorbs a real wallclock finding on its own line.
+func live() time.Time {
+	return time.Now() //corralvet:ok wallclock fixture measures host time on purpose
+}
+
+// lineAbove: coverage from the line above is also a use.
+func lineAbove() time.Time {
+	//corralvet:ok wallclock fixture measures host time on purpose
+	return time.Now()
+}
+
+func stale() int {
+	x := 1 //corralvet:ok wallclock nothing here fires wallclock
+	return x
+}
+
+func otherCheck() int {
+	y := 2 //corralvet:ok floateq belongs to a check outside this run
+	return y
+}
+`
+
+func TestSuppressStaleReportsOrphanedDirectives(t *testing.T) {
+	pkg := checkFixture(t, "corral/internal/fixture", staleFixture)
+	diags := RunAnalyzers([]*Package{pkg}, []*Analyzer{WallClock, SuppressStale})
+	if len(diags) != 1 {
+		t.Fatalf("want exactly the one stale wallclock directive, got %v", diags)
+	}
+	d := diags[0]
+	if d.Check != "suppressstale" {
+		t.Errorf("check = %q, want suppressstale", d.Check)
+	}
+	if !strings.Contains(d.Message, "no wallclock diagnostic") || !strings.Contains(d.Message, "stale suppression") {
+		t.Errorf("message should identify the orphaned wallclock directive: %q", d.Message)
+	}
+	if d.Fix == "" {
+		t.Errorf("stale-suppression finding should carry a removal fix: %+v", d)
+	}
+	wantLine := fixtureLine(t, staleFixture, "nothing here fires wallclock")
+	if d.Pos.Line != wantLine {
+		t.Errorf("finding at line %d, want the directive line %d", d.Pos.Line, wantLine)
+	}
+}
+
+// A directive naming a check that is not part of the current selection
+// must not be condemned: `-checks maporder` cannot know whether a
+// floateq annotation still earns its keep.
+func TestSuppressStaleOnlyAuditsChecksThatRan(t *testing.T) {
+	pkg := checkFixture(t, "corral/internal/fixture", `package fixture
+
+func f() int {
+	y := 2 //corralvet:ok floateq belongs to a check outside this run
+	return y
+}
+`)
+	diags := RunAnalyzers([]*Package{pkg}, []*Analyzer{WallClock, SuppressStale})
+	if len(diags) != 0 {
+		t.Fatalf("floateq did not run, so its directive must not be audited: %v", diags)
+	}
+
+	// With floateq in the run the same directive is provably stale.
+	diags = RunAnalyzers([]*Package{pkg}, []*Analyzer{FloatEq, SuppressStale})
+	if len(diags) != 1 || diags[0].Check != "suppressstale" {
+		t.Fatalf("floateq ran and found nothing, want the directive reported stale: %v", diags)
+	}
+}
+
+// Without suppressstale in the selection the audit must stay off
+// entirely, preserving v1 behavior for narrowed -checks runs.
+func TestNoStaleAuditWithoutSuppressStale(t *testing.T) {
+	pkg := checkFixture(t, "corral/internal/fixture", staleFixture)
+	diags := RunAnalyzers([]*Package{pkg}, []*Analyzer{WallClock})
+	if len(diags) != 0 {
+		t.Fatalf("suppressstale not selected, want no diagnostics: %v", diags)
+	}
+}
+
+// A diagnostic reachable from two directives (own line and line above)
+// keeps both alive — neither may be reported stale.
+func TestSuppressStaleKeepsDoublyCoveringDirectivesAlive(t *testing.T) {
+	pkg := checkFixture(t, "corral/internal/fixture", `package fixture
+
+import "time"
+
+func f() time.Time {
+	//corralvet:ok wallclock covered from the line above
+	return time.Now() //corralvet:ok wallclock covered on the same line
+}
+`)
+	diags := RunAnalyzers([]*Package{pkg}, []*Analyzer{WallClock, SuppressStale})
+	if len(diags) != 0 {
+		t.Fatalf("both directives absorb the same finding, want none stale: %v", diags)
+	}
+}
+
+// fixtureLine locates the 1-based line containing marker in src.
+func fixtureLine(t *testing.T, src, marker string) int {
+	t.Helper()
+	for i, line := range strings.Split(src, "\n") {
+		if strings.Contains(line, marker) {
+			return i + 1
+		}
+	}
+	t.Fatalf("marker %q not in fixture", marker)
+	return 0
+}
+
+func TestSelect(t *testing.T) {
+	got, err := Select("", "suppressstale")
+	if err != nil {
+		t.Fatalf("Select skip: %v", err)
+	}
+	if len(got) != len(Analyzers())-1 {
+		t.Errorf("skip suppressstale: got %d analyzers", len(got))
+	}
+	for _, a := range got {
+		if a.Name == "suppressstale" {
+			t.Errorf("suppressstale survived -skip")
+		}
+	}
+	if _, err := Select("maporder", "bogus"); err == nil {
+		t.Error("unknown skip name must error")
+	}
+	if _, err := Select("maporder", "maporder"); err == nil {
+		t.Error("empty selection must error")
+	}
+	got, err = Select("floateq,maporder", "")
+	if err != nil || len(got) != 2 {
+		t.Fatalf("Select subset: got %v, err %v", got, err)
+	}
+}
+
+func TestRunAnalyzersTimedAttributesEveryAnalyzer(t *testing.T) {
+	pkg := checkFixture(t, "corral/internal/fixture", `package fixture
+
+func f() {}
+`)
+	// Deterministic fake clock: each reading advances 1ms.
+	now := time.Unix(0, 0)
+	clock := func() time.Time {
+		now = now.Add(time.Millisecond)
+		return now
+	}
+	_, timings := RunAnalyzersTimed([]*Package{pkg}, Analyzers(), clock)
+	if len(timings) != len(Analyzers()) {
+		t.Fatalf("want a timing per analyzer, got %v", timings)
+	}
+	for _, a := range Analyzers() {
+		if timings[a.Name] <= 0 {
+			t.Errorf("analyzer %s has no attributed time: %v", a.Name, timings[a.Name])
+		}
+	}
+
+	// nil clock: timing off, diagnostics unchanged.
+	if _, timings := RunAnalyzersTimed([]*Package{pkg}, Analyzers(), nil); timings != nil {
+		t.Errorf("nil clock should disable timing, got %v", timings)
+	}
+}
+
+func TestDiagnosticStringRendersRelatedAndFix(t *testing.T) {
+	d := Diagnostic{
+		Pos:     token.Position{Filename: "a.go", Line: 3, Column: 1},
+		Check:   "sweepsafe",
+		Message: "non-slot write",
+		Related: []Related{{Pos: token.Position{Filename: "a.go", Line: 1, Column: 5}, Message: "closure passed to parallelFor here"}},
+		Fix:     "write only slots[i]",
+	}
+	s := d.String()
+	for _, want := range []string{
+		"a.go:3:1: [sweepsafe] non-slot write",
+		"\n\ta.go:1:5: closure passed to parallelFor here",
+		"\n\tfix: write only slots[i]",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Diagnostic.String() = %q, missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+)
+
+// TraceArg structurally enforces the tracer's zero-alloc disabled-path
+// contract (internal/trace, "Nil safety / zero overhead when disabled"):
+// every *emit method* — an exported method on *trace.Tracer with no
+// results — must
+//
+//  1. be declared on the pointer receiver with a named receiver (a value
+//     receiver cannot observe a nil tracer),
+//  2. begin with the literal nil guard `if t == nil { return }` as its
+//     very first statement, with no init clause — so nothing, allocation
+//     or otherwise, runs before the disabled path bails out, and
+//  3. take only scalar-shaped parameters: basics (ints, floats, bool,
+//     string), named types over basics (trace.Role, des.Time), and
+//     slices/arrays of those. Interface parameters (including any),
+//     variadics, maps, chans, funcs and pointers are banned — they box
+//     or tempt callers into building arguments before the guard.
+//
+// TestDisabledTracerZeroAlloc and BenchmarkTracerDisabledEmit pin the
+// same contract dynamically, but only for the emit methods and argument
+// shapes they happen to exercise; this check covers every method,
+// including ones added after the benchmark was written.
+var TraceArg = &Analyzer{
+	Name: "tracearg",
+	Doc:  "trace.Tracer emit methods must start with the nil-receiver guard and take scalar/string params only",
+	Run:  runTraceArg,
+}
+
+func runTraceArg(pass *Pass) {
+	tracerPath := pass.Module + "/internal/trace"
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sig := obj.Type().(*types.Signature)
+			if sig.Recv() == nil || sig.Results().Len() > 0 || !fd.Name.IsExported() {
+				continue // accessors (Enabled, Label, Events) and helpers are not emit methods
+			}
+			recv := sig.Recv().Type()
+			ptr, isPtr := recv.(*types.Pointer)
+			named, _ := recv.(*types.Named)
+			if isPtr {
+				named, _ = ptr.Elem().(*types.Named)
+			}
+			if !namedIs(named, tracerPath, "Tracer") {
+				continue
+			}
+			checkEmitMethod(pass, fd, sig, isPtr)
+		}
+	}
+}
+
+func checkEmitMethod(pass *Pass, fd *ast.FuncDecl, sig *types.Signature, ptrRecv bool) {
+	if !ptrRecv {
+		pass.Report(Finding{
+			Pos:     fd.Name.Pos(),
+			Message: "emit method " + fd.Name.Name + " has a value receiver: a nil *Tracer can never reach it, so the disabled path breaks",
+			Fix:     "declare the method on *Tracer and start with `if t == nil { return }`",
+		})
+		return // the guard checks below presuppose a pointer receiver
+	}
+	if sig.Variadic() {
+		pass.Report(Finding{
+			Pos:     fd.Name.Pos(),
+			Message: "emit method " + fd.Name.Name + " is variadic: callers allocate the argument slice before the nil guard can bail out",
+			Fix:     "take a fixed scalar parameter list",
+		})
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		p := sig.Params().At(i)
+		if scalarShaped(p.Type()) {
+			continue
+		}
+		name := p.Name()
+		if name == "" || name == "_" {
+			name = "#" + strconv.Itoa(i)
+		}
+		pass.Report(Finding{
+			Pos: fd.Name.Pos(),
+			Message: "emit method " + fd.Name.Name + " parameter " + name + " has type " + p.Type().String() +
+				": emit methods take only scalars, strings, and slices of those, so the disabled path cannot box or build arguments",
+			Fix: "pass the underlying scalars and format inside the method after the nil guard",
+		})
+	}
+	checkNilGuard(pass, fd)
+}
+
+// checkNilGuard requires the method body to open with `if <recv> == nil
+// { return }` — no init statement, nil on either side, a bare return.
+func checkNilGuard(pass *Pass, fd *ast.FuncDecl) {
+	recvName := ""
+	if names := fd.Recv.List[0].Names; len(names) == 1 && names[0].Name != "_" {
+		recvName = names[0].Name
+	}
+	if recvName == "" {
+		pass.Report(Finding{
+			Pos:     fd.Name.Pos(),
+			Message: "emit method " + fd.Name.Name + " has an unnamed receiver, so it cannot nil-guard the disabled path",
+			Fix:     "name the receiver and start with `if t == nil { return }`",
+		})
+		return
+	}
+	bad := func() {
+		pass.Report(Finding{
+			Pos:     fd.Name.Pos(),
+			Message: "emit method " + fd.Name.Name + " must begin with `if " + recvName + " == nil { return }` before any other work",
+			Fix:     "make the nil-receiver guard the first statement",
+		})
+	}
+	if len(fd.Body.List) == 0 {
+		bad()
+		return
+	}
+	ifs, ok := fd.Body.List[0].(*ast.IfStmt)
+	if !ok || ifs.Init != nil {
+		bad()
+		return
+	}
+	cond, ok := ast.Unparen(ifs.Cond).(*ast.BinaryExpr)
+	if !ok || cond.Op != token.EQL || !isRecvNilComparison(pass, cond, recvName) {
+		bad()
+		return
+	}
+	if len(ifs.Body.List) != 1 {
+		bad()
+		return
+	}
+	ret, ok := ifs.Body.List[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 0 {
+		bad()
+		return
+	}
+}
+
+// isRecvNilComparison matches `recv == nil` or `nil == recv`.
+func isRecvNilComparison(pass *Pass, cond *ast.BinaryExpr, recvName string) bool {
+	isRecv := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && id.Name == recvName
+	}
+	isNil := func(e ast.Expr) bool {
+		tv, ok := pass.Info.Types[e]
+		return ok && tv.IsNil()
+	}
+	return (isRecv(cond.X) && isNil(cond.Y)) || (isNil(cond.X) && isRecv(cond.Y))
+}
+
+// scalarShaped reports whether t is allowed in an emit signature: basic
+// kinds, named types whose underlying is basic, and slices/arrays of
+// scalar-shaped element types.
+func scalarShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return true
+	case *types.Slice:
+		return scalarShaped(u.Elem())
+	case *types.Array:
+		return scalarShaped(u.Elem())
+	}
+	return false
+}

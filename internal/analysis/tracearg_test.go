@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// tracearg only targets the real tracer package, so the fixtures load
+// under the corral/internal/trace import path with a standalone Tracer.
+const traceFixturePath = "corral/internal/trace"
+
+func TestTraceArgAcceptsContractConformingEmits(t *testing.T) {
+	runFixture(t, TraceArg, `package trace
+
+type Event struct{ T float64 }
+
+type Tracer struct {
+	events []Event
+}
+
+// Emit conforms: pointer receiver, nil guard first, scalar-shaped params.
+func (t *Tracer) Emit(now float64, job int, name string, racks []int) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, Event{T: now})
+}
+
+// Accessors return values, so they are not emit methods.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Unexported helpers are internal plumbing, not API surface.
+func (t *Tracer) helper(now float64) {
+	t.events = append(t.events, Event{T: now})
+}
+`, traceFixturePath)
+}
+
+func TestTraceArgFlagsContractViolations(t *testing.T) {
+	runFixture(t, TraceArg, `package trace
+
+type Event struct{ T float64 }
+
+type Tracer struct {
+	events []Event
+}
+
+func (t *Tracer) NoGuard(now float64) { // want tracearg
+	t.events = append(t.events, Event{T: now})
+}
+
+func (t *Tracer) GuardNotFirst(now float64) { // want tracearg
+	x := now
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, Event{T: x})
+}
+
+func (t Tracer) ValueReceiver(now float64) { // want tracearg
+	_ = now
+}
+
+func (t *Tracer) BoxedParam(v any) { // want tracearg
+	if t == nil {
+		return
+	}
+	_ = v
+}
+
+func (t *Tracer) MapParam(m map[int]int) { // want tracearg
+	if t == nil {
+		return
+	}
+	_ = m
+}
+
+func (t *Tracer) Variadic(vals ...float64) { // want tracearg
+	if t == nil {
+		return
+	}
+	_ = vals
+}
+`, traceFixturePath)
+}
+
+// Methods on other types in the trace package, and Tracer-named types in
+// other packages, are out of scope.
+func TestTraceArgScopedToTraceTracer(t *testing.T) {
+	runFixture(t, TraceArg, `package trace
+
+type sink struct{}
+
+func (s *sink) Push(v any) { _ = v }
+`, traceFixturePath)
+
+	runFixture(t, TraceArg, `package fixture
+
+type Tracer struct{}
+
+func (t *Tracer) Emit(v any) { _ = v }
+`)
+}
+
+// TestTraceArgFiresOnSeededBug: dropping the nil guard from an emit
+// method must produce a finding that names the missing guard.
+func TestTraceArgFiresOnSeededBug(t *testing.T) {
+	pkg := checkFixture(t, traceFixturePath, `package trace
+
+type Event struct{ T float64 }
+
+type Tracer struct{ events []Event }
+
+func (t *Tracer) TaskPlaced(now float64, task int) {
+	t.events = append(t.events, Event{T: now})
+}
+`)
+	diags := RunAnalyzers([]*Package{pkg}, []*Analyzer{TraceArg})
+	if len(diags) != 1 {
+		t.Fatalf("emit method without nil guard: want exactly 1 finding, got %v", diags)
+	}
+	d := diags[0]
+	if d.Check != "tracearg" || !strings.Contains(d.Message, "nil") || d.Fix == "" {
+		t.Errorf("finding should explain the missing nil-receiver guard and carry a fix: %+v", d)
+	}
+}

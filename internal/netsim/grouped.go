@@ -60,6 +60,12 @@ func (g *GroupedMaxMin) Name() string { return "maxmin-grouped" }
 
 // Allocate implements Policy. Panics if any flow was constructed outside
 // Network.StartPath (pathID 0): grouping needs the interned path identity.
+//
+// The steady state is allocation-free (round-stamped scratch, grow-once
+// slices), pinned dynamically by BenchmarkRecomputeGrouped10k and
+// statically by the hotalloc analyzer via the marker below.
+//
+//corral:hotpath
 func (g *GroupedMaxMin) Allocate(flows []*Flow, caps []float64, scratch []float64) {
 	remaining := scratch
 	copy(remaining, caps)

@@ -199,12 +199,16 @@ func (t *Tracer) Events() []Event {
 }
 
 // unset pre-fills the fields a Kind does not use.
+//
+//corral:hotpath
 func unsetEvent(now float64, k Kind) Event {
 	return Event{T: now, Kind: k, Job: -1, Stage: -1, Task: -1, Att: -1,
 		Mach: -1, Link: -1, Src: -1, Dst: -1, Flow: -1}
 }
 
 // MachineMeta records machine→rack topology (timestamp 0, pre-sim).
+//
+//corral:hotpath
 func (t *Tracer) MachineMeta(machine, rack int) {
 	if t == nil {
 		return
@@ -216,6 +220,8 @@ func (t *Tracer) MachineMeta(machine, rack int) {
 }
 
 // LinkMeta records a link's name and base capacity (timestamp 0).
+//
+//corral:hotpath
 func (t *Tracer) LinkMeta(link int, name string, capacity float64) {
 	if t == nil {
 		return
@@ -226,6 +232,8 @@ func (t *Tracer) LinkMeta(link int, name string, capacity float64) {
 }
 
 // JobSubmit records a job entering the scheduler.
+//
+//corral:hotpath
 func (t *Tracer) JobSubmit(now float64, job int, name string, slots int) {
 	if t == nil {
 		return
@@ -236,6 +244,8 @@ func (t *Tracer) JobSubmit(now float64, job int, name string, slots int) {
 }
 
 // JobDone records a job's last stage completing.
+//
+//corral:hotpath
 func (t *Tracer) JobDone(now float64, job int) {
 	if t == nil {
 		return
@@ -246,6 +256,8 @@ func (t *Tracer) JobDone(now float64, job int) {
 }
 
 // JobFail records a terminal job failure.
+//
+//corral:hotpath
 func (t *Tracer) JobFail(now float64, job int, reason string) {
 	if t == nil {
 		return
@@ -255,6 +267,7 @@ func (t *Tracer) JobFail(now float64, job int, reason string) {
 	t.events = append(t.events, e)
 }
 
+//corral:hotpath
 func (t *Tracer) taskEvent(now float64, k Kind, role Role, job, stage, task, attempt, machine int) {
 	e := unsetEvent(now, k)
 	e.Role, e.Job, e.Stage, e.Task, e.Att, e.Mach = role, job, stage, task, attempt, machine
@@ -262,6 +275,8 @@ func (t *Tracer) taskEvent(now float64, k Kind, role Role, job, stage, task, att
 }
 
 // TaskQueued records a task (re-)entering the pending queues.
+//
+//corral:hotpath
 func (t *Tracer) TaskQueued(now float64, role Role, job, stage, task, attempt int) {
 	if t == nil {
 		return
@@ -270,6 +285,8 @@ func (t *Tracer) TaskQueued(now float64, role Role, job, stage, task, attempt in
 }
 
 // TaskStart records an attempt launching on a machine.
+//
+//corral:hotpath
 func (t *Tracer) TaskStart(now float64, role Role, job, stage, task, attempt, machine int) {
 	if t == nil {
 		return
@@ -279,6 +296,8 @@ func (t *Tracer) TaskStart(now float64, role Role, job, stage, task, attempt, ma
 
 // TaskFinish records an attempt completing; dur is its wall-clock
 // (simulated) duration.
+//
+//corral:hotpath
 func (t *Tracer) TaskFinish(now float64, role Role, job, stage, task, attempt, machine int, dur float64) {
 	if t == nil {
 		return
@@ -288,6 +307,8 @@ func (t *Tracer) TaskFinish(now float64, role Role, job, stage, task, attempt, m
 }
 
 // TaskCrash records an injected attempt crash.
+//
+//corral:hotpath
 func (t *Tracer) TaskCrash(now float64, role Role, job, stage, task, attempt, machine int) {
 	if t == nil {
 		return
@@ -296,6 +317,8 @@ func (t *Tracer) TaskCrash(now float64, role Role, job, stage, task, attempt, ma
 }
 
 // TaskAbort records an attempt killed by failure/speculation/AM restart.
+//
+//corral:hotpath
 func (t *Tracer) TaskAbort(now float64, role Role, job, stage, task, attempt, machine int) {
 	if t == nil {
 		return
@@ -305,6 +328,8 @@ func (t *Tracer) TaskAbort(now float64, role Role, job, stage, task, attempt, ma
 
 // TaskBackoff records the retry backoff delay before a crashed task
 // re-enters the pending queues.
+//
+//corral:hotpath
 func (t *Tracer) TaskBackoff(now float64, role Role, job, stage, task, attempt int, delay float64) {
 	if t == nil {
 		return
@@ -314,6 +339,8 @@ func (t *Tracer) TaskBackoff(now float64, role Role, job, stage, task, attempt i
 }
 
 // ShuffleDone records a reduce attempt's shuffle phase completing.
+//
+//corral:hotpath
 func (t *Tracer) ShuffleDone(now float64, job, stage, task, machine int) {
 	if t == nil {
 		return
@@ -322,6 +349,8 @@ func (t *Tracer) ShuffleDone(now float64, job, stage, task, machine int) {
 }
 
 // SlotsBusy samples the cluster-wide occupied-slot counter.
+//
+//corral:hotpath
 func (t *Tracer) SlotsBusy(now float64, busy int) {
 	if t == nil {
 		return
@@ -331,6 +360,7 @@ func (t *Tracer) SlotsBusy(now float64, busy int) {
 	t.events = append(t.events, e)
 }
 
+//corral:hotpath
 func (t *Tracer) machineEvent(now float64, k Kind, machine int) {
 	e := unsetEvent(now, k)
 	e.Mach = machine
@@ -338,6 +368,8 @@ func (t *Tracer) machineEvent(now float64, k Kind, machine int) {
 }
 
 // MachineDown records a machine failure.
+//
+//corral:hotpath
 func (t *Tracer) MachineDown(now float64, machine int) {
 	if t == nil {
 		return
@@ -346,6 +378,8 @@ func (t *Tracer) MachineDown(now float64, machine int) {
 }
 
 // MachineUp records a transient failure recovering.
+//
+//corral:hotpath
 func (t *Tracer) MachineUp(now float64, machine int) {
 	if t == nil {
 		return
@@ -355,6 +389,8 @@ func (t *Tracer) MachineUp(now float64, machine int) {
 
 // Blacklist records a machine leaving the slot pool at the failed-attempt
 // threshold.
+//
+//corral:hotpath
 func (t *Tracer) Blacklist(now float64, machine int) {
 	if t == nil {
 		return
@@ -363,6 +399,8 @@ func (t *Tracer) Blacklist(now float64, machine int) {
 }
 
 // Unblacklist records a machine rejoining after its cooldown.
+//
+//corral:hotpath
 func (t *Tracer) Unblacklist(now float64, machine int) {
 	if t == nil {
 		return
@@ -371,6 +409,8 @@ func (t *Tracer) Unblacklist(now float64, machine int) {
 }
 
 // AMFail records an application-master kill.
+//
+//corral:hotpath
 func (t *Tracer) AMFail(now float64, job int) {
 	if t == nil {
 		return
@@ -381,6 +421,8 @@ func (t *Tracer) AMFail(now float64, job int) {
 }
 
 // AMRestart records a restarted AM resuming its job.
+//
+//corral:hotpath
 func (t *Tracer) AMRestart(now float64, job int) {
 	if t == nil {
 		return
@@ -391,6 +433,8 @@ func (t *Tracer) AMRestart(now float64, job int) {
 }
 
 // Replan records a failure-triggered planner re-invocation covering n jobs.
+//
+//corral:hotpath
 func (t *Tracer) Replan(now float64, jobs int) {
 	if t == nil {
 		return
@@ -402,6 +446,8 @@ func (t *Tracer) Replan(now float64, jobs int) {
 
 // SimEnd records the run's quiesce time (last job completion or repair
 // commit, whichever is later).
+//
+//corral:hotpath
 func (t *Tracer) SimEnd(quiesce float64) {
 	if t == nil {
 		return
@@ -413,6 +459,8 @@ func (t *Tracer) SimEnd(quiesce float64) {
 
 // FlowStart records a network flow starting. src/dst are -1 for
 // rack-aggregated path flows whose source is a machine set.
+//
+//corral:hotpath
 func (t *Tracer) FlowStart(now float64, flow int64, job, src, dst int, bytes float64, cross bool) {
 	if t == nil {
 		return
@@ -426,6 +474,8 @@ func (t *Tracer) FlowStart(now float64, flow int64, job, src, dst int, bytes flo
 }
 
 // FlowFinish records a flow completing its bytes.
+//
+//corral:hotpath
 func (t *Tracer) FlowFinish(now float64, flow int64, bytes float64) {
 	if t == nil {
 		return
@@ -437,6 +487,8 @@ func (t *Tracer) FlowFinish(now float64, flow int64, bytes float64) {
 
 // FlowCancel records a flow aborted mid-transfer; sent is what crossed
 // the wire before the abort.
+//
+//corral:hotpath
 func (t *Tracer) FlowCancel(now float64, flow int64, sent float64) {
 	if t == nil {
 		return
@@ -447,6 +499,8 @@ func (t *Tracer) FlowCancel(now float64, flow int64, sent float64) {
 }
 
 // FlowRate records a flow's allocated rate changing at a recompute point.
+//
+//corral:hotpath
 func (t *Tracer) FlowRate(now float64, flow int64, rate float64) {
 	if t == nil {
 		return
@@ -458,6 +512,8 @@ func (t *Tracer) FlowRate(now float64, flow int64, rate float64) {
 
 // LinkUtil samples a link's utilization fraction at a recompute point
 // (emitted on change only).
+//
+//corral:hotpath
 func (t *Tracer) LinkUtil(now float64, link int, util float64) {
 	if t == nil {
 		return
@@ -468,6 +524,8 @@ func (t *Tracer) LinkUtil(now float64, link int, util float64) {
 }
 
 // LinkCap records a link-fault capacity change.
+//
+//corral:hotpath
 func (t *Tracer) LinkCap(now float64, link int, capacity float64) {
 	if t == nil {
 		return
@@ -478,6 +536,8 @@ func (t *Tracer) LinkCap(now float64, link int, capacity float64) {
 }
 
 // DFSCreate records a file being placed into the block store.
+//
+//corral:hotpath
 func (t *Tracer) DFSCreate(now float64, name string, bytes float64) {
 	if t == nil {
 		return
@@ -488,6 +548,8 @@ func (t *Tracer) DFSCreate(now float64, name string, bytes float64) {
 }
 
 // DFSCorrupt records a replica on a machine going silently corrupt.
+//
+//corral:hotpath
 func (t *Tracer) DFSCorrupt(now float64, machine int, bytes float64) {
 	if t == nil {
 		return
@@ -499,6 +561,8 @@ func (t *Tracer) DFSCorrupt(now float64, machine int, bytes float64) {
 
 // BlockRead records a remote DFS block read; failover marks a read that
 // checksum-skipped a corrupt replica.
+//
+//corral:hotpath
 func (t *Tracer) BlockRead(now float64, job, reader, replica int, bytes float64, failover bool) {
 	if t == nil {
 		return
@@ -512,6 +576,8 @@ func (t *Tracer) BlockRead(now float64, job, reader, replica int, bytes float64,
 }
 
 // RepairStart records the re-replication daemon launching a copy.
+//
+//corral:hotpath
 func (t *Tracer) RepairStart(now float64, src, dst int, bytes float64) {
 	if t == nil {
 		return
@@ -522,6 +588,8 @@ func (t *Tracer) RepairStart(now float64, src, dst int, bytes float64) {
 }
 
 // RepairCommit records a repair copy landing in the store.
+//
+//corral:hotpath
 func (t *Tracer) RepairCommit(now float64, src, dst int, bytes float64) {
 	if t == nil {
 		return
@@ -533,6 +601,8 @@ func (t *Tracer) RepairCommit(now float64, src, dst int, bytes float64) {
 
 // PlanStart records a planner invocation over n jobs. now is simulation
 // time for replans, 0 for offline planning.
+//
+//corral:hotpath
 func (t *Tracer) PlanStart(now float64, jobs int, objective string) {
 	if t == nil {
 		return
@@ -543,6 +613,8 @@ func (t *Tracer) PlanStart(now float64, jobs int, objective string) {
 }
 
 // PlanAssign records one job's planned rack set, priority and start.
+//
+//corral:hotpath
 func (t *Tracer) PlanAssign(now float64, job, priority int, start float64, racks []int) {
 	if t == nil {
 		return
@@ -554,6 +626,8 @@ func (t *Tracer) PlanAssign(now float64, job, priority int, start float64, racks
 }
 
 // PlanDone records the plan's estimated objective value.
+//
+//corral:hotpath
 func (t *Tracer) PlanDone(now float64, objective float64) {
 	if t == nil {
 		return

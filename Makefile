@@ -5,13 +5,13 @@
 GO ?= go
 
 .PHONY: check ci-local fast-gate build vet fmt-check test race corralvet \
-	chaos fuzz trace-determinism bench bench-compare
+	chaos fuzz trace-determinism resume-determinism bench bench-compare
 
-check: build vet fmt-check test race chaos fuzz trace-determinism
+check: build vet fmt-check test race chaos fuzz trace-determinism resume-determinism
 	@echo "check: all gates passed"
 
 # One target per CI job, in the workflow's job order.
-ci-local: fast-gate test trace-determinism race chaos fuzz bench-compare
+ci-local: fast-gate test trace-determinism resume-determinism race chaos fuzz bench-compare
 	@echo "ci-local: all CI jobs passed"
 
 fast-gate: build vet fmt-check
@@ -59,6 +59,18 @@ chaos:
 # every bundled crash rate, completion degrades monotonically).
 fuzz:
 	$(GO) test ./internal/experiments -run 'TestFuzz|TestAttritionSweep' -count=1 -v
+
+# Resume-determinism gate: runs restored from mid-flight snapshots must
+# finish with a bit-identical Result and trace export at any sweep worker
+# count, the restore audit must catch any single corrupted state field,
+# and the snapshot codec's golden file must not drift. A failing
+# equivalence point persists its snapshot to
+# internal/experiments/resume-failure.snap.json (uploaded as a CI
+# artifact) for corralsnap inspection. -count=1 defeats the test cache.
+resume-determinism:
+	$(GO) test ./internal/experiments -run 'TestResume' -count=1 -v
+	$(GO) test ./internal/runtime -run 'TestSnapshot' -count=1
+	$(GO) test ./internal/snapshot -count=1
 
 # Trace-determinism gate: replaying a traced suite must reproduce the
 # JSONL and Chrome exports byte for byte, independent of seed plumbing,

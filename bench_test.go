@@ -242,3 +242,62 @@ func BenchmarkExtReplan(b *testing.B) {
 func BenchmarkExtSharedData(b *testing.B) {
 	benchExperiment(b, "ext-shared-data", "crossrack_gb_shared", "crossrack_gb_perjob")
 }
+
+// Snapshot-layer benchmarks: the cost of capturing a mid-flight snapshot
+// (simulate to the midpoint + deep state export), of encoding it to the
+// canonical checksummed byte form, and of a full restore (replay to the
+// capture point + field-level audit + run to completion). Snapshot size in
+// bytes is reported as a semantic metric — it is a deterministic function
+// of the pinned scenario, so the regression gate pins it bit for bit.
+
+func snapshotScenario(b *testing.B) (*corral.Snapshot, []byte) {
+	b.Helper()
+	snap, err := corral.CaptureScenarioSnapshot(benchSize(b), 1, corral.CheckpointTarget{EventIndex: 150})
+	if err != nil {
+		b.Fatal(err)
+	}
+	raw, err := corral.EncodeSnapshot(snap)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return snap, raw
+}
+
+func BenchmarkSnapshotCapture(b *testing.B) {
+	var raw []byte
+	for i := 0; i < b.N; i++ {
+		_, raw = snapshotScenario(b)
+	}
+	b.ReportMetric(float64(len(raw)), "snapshot_bytes")
+}
+
+func BenchmarkSnapshotEncode(b *testing.B) {
+	snap, _ := snapshotScenario(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		raw, err := corral.EncodeSnapshot(snap)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := corral.DecodeSnapshot(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSnapshotResume(b *testing.B) {
+	_, raw := snapshotScenario(b)
+	b.ResetTimer()
+	var res *corral.Result
+	for i := 0; i < b.N; i++ {
+		snap, err := corral.DecodeSnapshot(raw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err = corral.ResumeSnapshot(snap, corral.ResumeOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Makespan, "makespan_s")
+}

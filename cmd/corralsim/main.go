@@ -36,8 +36,19 @@ func main() {
 			"worker pool bound for parallel experiment sweeps (0 = GOMAXPROCS, 1 = serial; results are identical for any value)")
 		tracePath = flag.String("trace", "",
 			"write a deterministic simulation-time event trace to this file (.jsonl = flat JSONL; any other extension = Chrome trace-event JSON, loadable in Perfetto)")
+		snapshotAt = flag.String("snapshot-at", "",
+			"capture the crash-resume scenario run at this point (\"ev:N\" = after N events, \"t:SECONDS\" = at simulated time, bare N = ev:N) and write the snapshot to -snapshot-out")
+		snapshotOut = flag.String("snapshot-out", "",
+			"snapshot output file for -snapshot-at (default snapshot.json)")
+		resumePath = flag.String("resume", "",
+			"resume a snapshot file written by -snapshot-at: restore, audit, run to completion and print the outcome")
 	)
 	flag.Parse()
+	if err := validateFlagCombos(*exp, *snapshotAt, *snapshotOut, *resumePath); err != nil {
+		fmt.Fprintln(os.Stderr, "corralsim:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 	corral.SetSweepWorkers(*workers)
 
 	var collector *corral.TraceCollector
@@ -70,6 +81,59 @@ func main() {
 		}
 	}
 	defer writeTrace()
+
+	if *snapshotAt != "" {
+		target, err := parseTarget(*snapshotAt)
+		if err != nil {
+			fatal(err)
+		}
+		sz, err := parseSize(*size)
+		if err != nil {
+			fatal(err)
+		}
+		snap, err := corral.CaptureScenarioSnapshot(sz, *seed, target)
+		if err != nil {
+			fatal(err)
+		}
+		raw, err := corral.EncodeSnapshot(snap)
+		if err != nil {
+			fatal(err)
+		}
+		out := *snapshotOut
+		if out == "" {
+			out = "snapshot.json"
+		}
+		if err := os.WriteFile(out, raw, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s: seed %d captured at event %d (t=%.3f s, %d bytes)\n",
+			out, snap.Meta.Seed, snap.Meta.EventIndex, snap.Meta.SimTime, len(raw))
+		return
+	}
+
+	if *resumePath != "" {
+		raw, err := os.ReadFile(*resumePath)
+		if err != nil {
+			fatal(err)
+		}
+		snap, err := corral.DecodeSnapshot(raw)
+		if err != nil {
+			fatal(err)
+		}
+		mon := corral.NewInvariantMonitor(snap.Spec.Topology)
+		res, err := corral.ResumeSnapshot(snap, corral.ResumeOptions{Probe: mon})
+		if err != nil {
+			fatal(err)
+		}
+		writeTrace()
+		fmt.Printf("resumed %s from event %d (t=%.3f s): makespan %.3f s, %d events, %d jobs (%d failed), %d replans\n",
+			*resumePath, snap.Meta.EventIndex, snap.Meta.SimTime,
+			res.Makespan, res.Events, len(res.Jobs), res.FailedJobs, res.Replans)
+		if n := mon.ViolationCount(); n != 0 {
+			fatal(fmt.Errorf("resumed run raised %d invariant violations: %v", n, mon.Violations()))
+		}
+		return
+	}
 
 	if *fuzzTraces > 0 || *exp == "fuzz" {
 		sz, err := parseSize(*size)
@@ -171,6 +235,50 @@ func parseSize(s string) (corral.ExperimentSize, error) {
 		return corral.SizeLarge, nil
 	}
 	return 0, fmt.Errorf("unknown size %q (want s, m or l)", s)
+}
+
+// validateFlagCombos rejects flag combinations with no coherent meaning;
+// the caller prints usage and exits non-zero.
+func validateFlagCombos(exp, snapshotAt, snapshotOut, resume string) error {
+	if resume != "" && exp != "" {
+		return fmt.Errorf("-resume cannot be combined with -exp: a resumed run replays its snapshot's own spec")
+	}
+	if resume != "" && snapshotAt != "" {
+		return fmt.Errorf("-resume and -snapshot-at are mutually exclusive")
+	}
+	if snapshotAt != "" && exp != "" {
+		return fmt.Errorf("-snapshot-at cannot be combined with -exp: it captures the crash-resume scenario run")
+	}
+	if snapshotOut != "" && snapshotAt == "" {
+		return fmt.Errorf("-snapshot-out requires -snapshot-at")
+	}
+	return nil
+}
+
+// parseTarget parses a -snapshot-at value: "ev:N" (after N events),
+// "t:SECONDS" (first event boundary at or past that simulated time), or a
+// bare integer meaning ev:N.
+func parseTarget(s string) (corral.CheckpointTarget, error) {
+	switch {
+	case strings.HasPrefix(s, "ev:"):
+		n, err := strconv.ParseUint(s[len("ev:"):], 10, 64)
+		if err != nil || n == 0 {
+			return corral.CheckpointTarget{}, fmt.Errorf("bad -snapshot-at %q: want a positive event index", s)
+		}
+		return corral.CheckpointTarget{EventIndex: n}, nil
+	case strings.HasPrefix(s, "t:"):
+		v, err := strconv.ParseFloat(s[len("t:"):], 64)
+		if err != nil || v < 0 {
+			return corral.CheckpointTarget{}, fmt.Errorf("bad -snapshot-at %q: want a non-negative time in seconds", s)
+		}
+		return corral.CheckpointTarget{SimTime: v}, nil
+	default:
+		n, err := strconv.ParseUint(s, 10, 64)
+		if err != nil || n == 0 {
+			return corral.CheckpointTarget{}, fmt.Errorf("bad -snapshot-at %q: want \"ev:N\", \"t:SECONDS\" or a positive event index", s)
+		}
+		return corral.CheckpointTarget{EventIndex: n}, nil
+	}
 }
 
 func parseFloats(s string) ([]float64, error) {

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateFlagCombos(t *testing.T) {
+	cases := []struct {
+		name                                 string
+		exp, snapshotAt, snapshotOut, resume string
+		wantErr                              string
+	}{
+		{name: "plain experiment", exp: "fig6"},
+		{name: "snapshot alone", snapshotAt: "ev:100"},
+		{name: "snapshot with out", snapshotAt: "t:10", snapshotOut: "s.json"},
+		{name: "resume alone", resume: "s.json"},
+		{name: "resume with exp", exp: "fig6", resume: "s.json", wantErr: "-resume cannot be combined with -exp"},
+		{name: "resume with snapshot", snapshotAt: "ev:5", resume: "s.json", wantErr: "mutually exclusive"},
+		{name: "snapshot with exp", exp: "fig6", snapshotAt: "ev:5", wantErr: "-snapshot-at cannot be combined with -exp"},
+		{name: "out without at", snapshotOut: "s.json", wantErr: "-snapshot-out requires -snapshot-at"},
+	}
+	for _, c := range cases {
+		err := validateFlagCombos(c.exp, c.snapshotAt, c.snapshotOut, c.resume)
+		if c.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", c.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: err = %v, want %q", c.name, err, c.wantErr)
+		}
+	}
+}
+
+func TestParseTarget(t *testing.T) {
+	for _, c := range []struct {
+		in      string
+		wantEv  uint64
+		wantT   float64
+		wantErr bool
+	}{
+		{in: "ev:123", wantEv: 123},
+		{in: "456", wantEv: 456},
+		{in: "t:12.5", wantT: 12.5},
+		{in: "t:0", wantT: 0},
+		{in: "ev:0", wantErr: true},
+		{in: "0", wantErr: true},
+		{in: "t:-1", wantErr: true},
+		{in: "ev:abc", wantErr: true},
+		{in: "whenever", wantErr: true},
+		{in: "", wantErr: true},
+	} {
+		got, err := parseTarget(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("parseTarget(%q): no error, got %+v", c.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseTarget(%q): %v", c.in, err)
+			continue
+		}
+		if got.EventIndex != c.wantEv || got.SimTime != c.wantT {
+			t.Errorf("parseTarget(%q) = %+v, want ev=%d t=%g", c.in, got, c.wantEv, c.wantT)
+		}
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"corral/internal/netsim"
 	"corral/internal/planner"
 	"corral/internal/runtime"
+	"corral/internal/snapshot"
 	"corral/internal/topology"
 	"corral/internal/trace"
 	"corral/internal/workload"
@@ -262,7 +263,11 @@ type JobResult = runtime.JobResult
 // Simulate executes the jobs on the simulated cluster and returns per-job
 // and aggregate metrics.
 func Simulate(cfg SimConfig, jobs []*Job) (*Result, error) {
-	return runtime.Run(runtime.Options{
+	return runtime.Run(simOptions(cfg), jobs)
+}
+
+func simOptions(cfg SimConfig) runtime.Options {
+	return runtime.Options{
 		Topology:             cfg.Cluster,
 		Scheduler:            cfg.Scheduler,
 		Plan:                 cfg.Plan,
@@ -289,8 +294,59 @@ func Simulate(cfg SimConfig, jobs []*Job) (*Result, error) {
 		Corruptions:          cfg.Corruptions,
 		Probe:                cfg.Probe,
 		Trace:                cfg.Trace,
-	}, jobs)
+	}
 }
+
+// Snapshot is a versioned, deterministic serialization of a complete
+// mid-flight simulation: the full run input (Spec), the capture point
+// (Meta) and a deep export of all observable state (State). See
+// internal/snapshot for the schema and restore-audit contract.
+type Snapshot = snapshot.Snapshot
+
+// CheckpointTarget names a point to snapshot at: after EventIndex fired
+// events (when > 0), otherwise at the first event boundary reaching
+// SimTime.
+type CheckpointTarget = runtime.CheckpointTarget
+
+// ResumeOptions reattaches the observer hooks (invariant probe, tracer,
+// repair callback) that a snapshot deliberately excludes.
+type ResumeOptions = runtime.ResumeOptions
+
+// SimulateWithSnapshots runs like Simulate but captures a snapshot at each
+// target, passing it to fn between event firings; fn returning false
+// stops the simulation immediately. Targets the run never reaches make
+// the result come back with an error naming them.
+func SimulateWithSnapshots(cfg SimConfig, jobs []*Job, targets []CheckpointTarget, fn func(*Snapshot) bool) (*Result, error) {
+	return runtime.RunWithSnapshots(simOptions(cfg), jobs, targets, fn)
+}
+
+// CaptureSnapshot runs the simulation until the target and returns the
+// snapshot captured there, tearing the run down immediately after.
+func CaptureSnapshot(cfg SimConfig, jobs []*Job, target CheckpointTarget) (*Snapshot, error) {
+	return runtime.CaptureAt(simOptions(cfg), jobs, target)
+}
+
+// ResumeSnapshot reconstitutes a snapshotted run and continues it to
+// completion. The runtime is rebuilt from the snapshot's Spec,
+// deterministically replayed to the capture point, audited field-by-field
+// against the snapshot's State (any mismatch is a hard error and an
+// invariant violation), and then run to the end. A resumed run's Result
+// and trace are bit-identical to the uninterrupted run's.
+func ResumeSnapshot(snap *Snapshot, ro ResumeOptions) (*Result, error) {
+	return runtime.Resume(snap, ro)
+}
+
+// EncodeSnapshot serializes a snapshot to its canonical, checksummed byte
+// form; equal snapshots encode to equal bytes.
+func EncodeSnapshot(s *Snapshot) ([]byte, error) { return snapshot.Encode(s) }
+
+// DecodeSnapshot parses a snapshot, rejecting unknown versions, corrupted
+// sections and schema drift with a clear error — never a partial restore.
+func DecodeSnapshot(data []byte) (*Snapshot, error) { return snapshot.Decode(data) }
+
+// DiffSnapshots returns human-readable field paths differing between two
+// snapshots (empty when identical).
+func DiffSnapshots(a, b *Snapshot) []string { return snapshot.Diff(a, b) }
 
 // Tracer records one run's deterministic simulation-time event stream
 // (task lifecycle, machine state, flows, link utilization, DFS activity,
@@ -469,6 +525,30 @@ func RunFuzzExperiment(size ExperimentSize, seed int64, traces int) (*Experiment
 		traces = experiments.DefaultFuzzTraces
 	}
 	return experiments.FuzzWithTraces(experiments.Params{Size: size, Seed: seed}, traces)
+}
+
+// ResumeParams configures a crash-resume equivalence sweep; ResumeReport
+// is its outcome.
+type (
+	ResumeParams = experiments.ResumeParams
+	ResumeReport = experiments.ResumeReport
+)
+
+// RunResumeEquivalence runs the crash-resume equivalence sweep for one
+// seed: a fault-heavy monitored baseline is snapshotted at random
+// mid-flight event indices, each captured run is torn down, restored from
+// the serialized snapshot bytes, run to completion, and required to
+// finish with a bit-identical Result and trace export.
+func RunResumeEquivalence(p ResumeParams) (*ResumeReport, error) {
+	return experiments.RunResumeEquivalence(p)
+}
+
+// CaptureScenarioSnapshot captures the crash-resume scenario run for
+// (size, seed) — the corral-replan fuzz configuration — at the given
+// target. This is what corralsim -snapshot-at writes and what the
+// canned corpus under internal/experiments/testdata is built from.
+func CaptureScenarioSnapshot(size ExperimentSize, seed int64, target CheckpointTarget) (*Snapshot, error) {
+	return experiments.ScenarioSnapshot(size, seed, target)
 }
 
 // SetSweepWorkers bounds the worker pool experiment sweeps (chaos

@@ -15,6 +15,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"sort"
 )
 
 // Time is simulation time in seconds.
@@ -168,4 +169,37 @@ func (s *Simulator) NextEventTime() Time {
 		return next.at
 	}
 	return Inf
+}
+
+// Seq returns the total number of events ever scheduled — the next event's
+// FIFO tie-break sequence number.
+func (s *Simulator) Seq() uint64 { return s.seq }
+
+// EventInfo is a snapshot-friendly view of one pending event: its firing
+// time and FIFO sequence number, but not its (unserializable) callback.
+type EventInfo struct {
+	At       Time
+	Seq      uint64
+	Canceled bool
+}
+
+// PendingEvents returns every queued event — including canceled entries
+// that have not been popped yet — sorted by (At, Seq). Unlike NextEventTime
+// it never mutates the heap, so it is safe to call between Steps of a run
+// that will continue.
+func (s *Simulator) PendingEvents() []EventInfo {
+	out := make([]EventInfo, len(s.events))
+	for i, e := range s.events {
+		out[i] = EventInfo{At: e.at, Seq: e.seq, Canceled: e.canceled}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].At < out[j].At {
+			return true
+		}
+		if out[j].At < out[i].At {
+			return false
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
 }

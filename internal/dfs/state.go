@@ -1,0 +1,71 @@
+package dfs
+
+// Snapshot support: CaptureState exports the store's observable state —
+// every file's block layout with per-slot corruption marks, the
+// incrementally maintained load accounting and machine liveness — as plain
+// serializable data. Snapshots use it both for offline inspection and for
+// the restore audit, where the state of a deterministically replayed store
+// must be field-identical to the captured one. The blocksOn index is
+// excluded: it is a lazily pruned cache whose contents are derivable from
+// the file set and would make equality depend on pruning history.
+
+import "sort"
+
+// BlockState is the serializable view of one block: its replica machines
+// and, aligned slot-for-slot, whether each replica is corrupt.
+type BlockState struct {
+	Size     float64
+	Replicas []int
+	Corrupt  []bool
+}
+
+// FileState is the serializable view of one file.
+type FileState struct {
+	Name   string
+	Size   float64
+	Blocks []BlockState
+}
+
+// StoreState is the complete serializable store state.
+type StoreState struct {
+	BlockSize    float64
+	Files        []FileState // sorted by name
+	MachineBytes []float64
+	RackBytes    []float64
+	Alive        []bool
+}
+
+// CaptureState exports the store's observable state, files sorted by name
+// so the export never depends on map iteration order.
+func (s *Store) CaptureState() *StoreState {
+	st := &StoreState{
+		BlockSize:    s.blockSize,
+		MachineBytes: append([]float64(nil), s.view.machineBytes...),
+		RackBytes:    append([]float64(nil), s.view.rackBytes...),
+		Alive:        append([]bool(nil), s.view.alive...),
+	}
+	names := make([]string, 0, len(s.files))
+	for name := range s.files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	st.Files = make([]FileState, 0, len(names))
+	for _, name := range names {
+		f := s.files[name]
+		fs := FileState{Name: f.Name, Size: f.Size, Blocks: make([]BlockState, len(f.Blocks))}
+		for i := range f.Blocks {
+			b := &f.Blocks[i]
+			bs := BlockState{
+				Size:     b.Size,
+				Replicas: append([]int(nil), b.Replicas...),
+				Corrupt:  make([]bool, len(b.Replicas)),
+			}
+			for slot := range b.Replicas {
+				bs.Corrupt[slot] = s.corrupt[replicaSlot{b, slot}]
+			}
+			fs.Blocks[i] = bs
+		}
+		st.Files = append(st.Files, fs)
+	}
+	return st
+}

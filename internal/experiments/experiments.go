@@ -143,6 +143,7 @@ func Registry() []struct {
 		{"chaos", "chaos: graceful degradation under machine + uplink fault traces", Chaos},
 		{"attrition", "attrition: task retries + blacklisting under rising crash rates", Attrition},
 		{"fuzz", "corralcheck: randomized fault traces under the invariant monitor", Fuzz},
+		{"resume", "resume: crash-resume equivalence of snapshotted runs", Resume},
 	}
 }
 

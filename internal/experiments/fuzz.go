@@ -22,11 +22,13 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
+	"reflect"
 
 	"corral/internal/invariants"
 	"corral/internal/metrics"
 	"corral/internal/planner"
 	"corral/internal/runtime"
+	"corral/internal/snapshot"
 	"corral/internal/workload"
 )
 
@@ -35,6 +37,11 @@ type FuzzParams struct {
 	Size   Size
 	Seed   int64
 	Traces int // randomized traces; <=0 selects DefaultFuzzTraces
+	// Snapshots adds a mid-flight snapshot + resume check per trace: the
+	// corral-replan run is captured at its midpoint, restored from the
+	// serialized bytes, and the resumed Result must deep-equal the
+	// uninterrupted one. Divergence is reported as a violation.
+	Snapshots bool
 }
 
 // DefaultFuzzTraces is the bundled sweep size; the CI gate runs at least
@@ -155,6 +162,8 @@ func RunFuzz(p FuzzParams) (*FuzzReport, error) {
 		}
 		tr := genFuzzTrace(prof, traceSeed, clean.Makespan, ids)
 
+		var replanRes *runtime.Result
+		var replanOpts runtime.Options
 		for _, sc := range fuzzSchedulers {
 			mon := invariants.NewMonitor(topo.Machines(), topo.SlotsPerMachine)
 			opts := runtime.Options{
@@ -186,6 +195,12 @@ func RunFuzz(p FuzzParams) (*FuzzReport, error) {
 			if !mon.Ended() {
 				out.violations = append(out.violations, label+": monitor never saw SimEnd")
 			}
+			if sc.replan {
+				replanRes = res
+				o := opts
+				o.Probe = nil
+				replanOpts = o
+			}
 			for k := range res.Jobs {
 				jr := &res.Jobs[k]
 				if jr.Failed {
@@ -194,6 +209,42 @@ func RunFuzz(p FuzzParams) (*FuzzReport, error) {
 				}
 				out.completed++
 				out.completions = append(out.completions, jr.CompletionTime)
+			}
+		}
+		// Mid-flight snapshot + resume check: restore the corral-replan run
+		// from its serialized midpoint and require the resumed Result to be
+		// bit-identical to the uninterrupted one.
+		if p.Snapshots && replanRes != nil && replanRes.Events > 2 {
+			label := fmt.Sprintf("trace %d (seed %d) snapshot-resume", i, traceSeed)
+			idx := replanRes.Events / 2
+			snap, err := runtime.CaptureAt(replanOpts, workload.Clone(jobs), runtime.CheckpointTarget{EventIndex: idx})
+			if err != nil {
+				out.violations = append(out.violations, fmt.Sprintf("%s: capture@%d: %v", label, idx, err))
+				return nil
+			}
+			raw, err := snapshot.Encode(snap)
+			if err != nil {
+				out.violations = append(out.violations, fmt.Sprintf("%s: encode: %v", label, err))
+				return nil
+			}
+			decoded, err := snapshot.Decode(raw)
+			if err != nil {
+				out.violations = append(out.violations, fmt.Sprintf("%s: decode: %v", label, err))
+				return nil
+			}
+			mon := invariants.NewMonitor(topo.Machines(), topo.SlotsPerMachine)
+			res, err := runtime.Resume(decoded, runtime.ResumeOptions{Probe: mon})
+			out.runs++
+			if err != nil {
+				out.violations = append(out.violations, fmt.Sprintf("%s: resume@%d: %v", label, idx, err))
+				return nil
+			}
+			for _, v := range mon.Violations() {
+				out.violations = append(out.violations, label+": "+v)
+			}
+			if !reflect.DeepEqual(res, replanRes) {
+				out.violations = append(out.violations,
+					fmt.Sprintf("%s: resumed Result@%d differs from uninterrupted run", label, idx))
 			}
 		}
 		return nil
@@ -216,10 +267,11 @@ func Fuzz(p Params) (*Report, error) {
 }
 
 // FuzzWithTraces runs corralcheck with a caller-chosen trace count (the
-// corralsim -fuzz-traces flag).
+// corralsim -fuzz-traces flag). Mid-flight snapshot + resume checks are
+// always on for the bundled entry.
 func FuzzWithTraces(p Params, traces int) (*Report, error) {
 	r := newReport("corralcheck: randomized attrition traces under the invariant monitor")
-	rep, err := RunFuzz(FuzzParams{Size: p.Size, Seed: p.Seed, Traces: traces})
+	rep, err := RunFuzz(FuzzParams{Size: p.Size, Seed: p.Seed, Traces: traces, Snapshots: true})
 	if err != nil {
 		return nil, err
 	}

@@ -61,6 +61,22 @@ func (k Kind) String() string {
 	return fmt.Sprintf("kind(%d)", int(k))
 }
 
+// ParseKind is the inverse of Kind.String, used when reconstructing a run
+// from a serialized snapshot spec.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "yarn-cs":
+		return YarnCS, nil
+	case "corral":
+		return Corral, nil
+	case "local-shuffle":
+		return LocalShuffle, nil
+	case "shufflewatcher":
+		return ShuffleWatcher, nil
+	}
+	return 0, fmt.Errorf("runtime: unknown scheduler %q", s)
+}
+
 // Options configures one simulated run.
 type Options struct {
 	Topology topology.Config
@@ -292,6 +308,7 @@ type runtime struct {
 	net     *netsim.Network
 	store   *dfs.Store
 	rng     *rand.Rand
+	rngSrc  *countingSource
 
 	freeSlots    []int
 	dead         []bool
@@ -412,7 +429,11 @@ func newRuntime(opts Options, jobs []*job.Job) (*runtime, error) {
 		netPolicy = netsim.NewGroupedMaxMin()
 	}
 	sim := des.New()
-	rng := rand.New(rand.NewSource(opts.Seed))
+	// The one seeded RNG stream (shared with the DFS) draws through a
+	// counting wrapper so snapshots can record — and restore audits can
+	// verify — exactly how many values a run has consumed (snapshot.go).
+	rngSrc := newCountingSource(opts.Seed)
+	rng := rand.New(rngSrc)
 	rt := &runtime{
 		opts:      opts,
 		sim:       sim,
@@ -420,6 +441,7 @@ func newRuntime(opts Options, jobs []*job.Job) (*runtime, error) {
 		net:       netsim.New(sim, cluster, netPolicy),
 		store:     dfs.New(cluster, opts.BlockSize, rng),
 		rng:       rng,
+		rngSrc:    rngSrc,
 		freeSlots: make([]int, m),
 		dead:      make([]bool, m),
 		running:   make(map[int][]*runningTask),
@@ -598,6 +620,15 @@ func (rt *runtime) sortDispatchOrder() {
 }
 
 func (rt *runtime) run() (*Result, error) {
+	rt.start()
+	rt.sim.Run()
+	return rt.finish()
+}
+
+// start schedules the initial event set: job arrivals and every declared
+// fault. Split from run so the snapshot layer (snapshot.go) can drive the
+// event loop step by step between start and finish.
+func (rt *runtime) start() {
 	rt.active = len(rt.jobs)
 	for _, je := range rt.jobs {
 		je := je
@@ -619,8 +650,11 @@ func (rt *runtime) run() (*Result, error) {
 		c := c
 		rt.sim.At(des.Time(c.At), func() { rt.applyCorruption(c) })
 	}
-	rt.sim.Run()
+}
 
+// finish runs the end-of-simulation audits and builds the Result. The
+// event queue must have drained.
+func (rt *runtime) finish() (*Result, error) {
 	if rt.opts.Probe != nil {
 		// Final audits: incremental DFS accounting must agree with a from-
 		// scratch recount, then the monitor runs its end-of-simulation

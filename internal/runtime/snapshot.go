@@ -1,0 +1,543 @@
+package runtime
+
+// Snapshot/restore: capture a run mid-flight as a snapshot.Snapshot and
+// reconstitute it later, continuing to an identical Result and trace.
+//
+// The DES heap stores closures, which cannot serialize. Restore is
+// therefore replay-based, leaning on the determinism contract every PR
+// since the first has pinned: a run is a pure function of (Options, jobs,
+// Seed). A snapshot records the full run input (Spec), the capture point
+// (Meta.EventIndex) and a deep export of all observable state (State).
+// Resume rebuilds the runtime from Spec, re-fires exactly EventIndex
+// events, audits the replayed live state field-by-field against the
+// captured State — any mismatch is a hard error and an invariant-monitor
+// violation — and then runs to completion. Because replay re-emits every
+// event from time zero, a tracer attached on resume reproduces the full
+// run's trace byte for byte, which is what the crash-resume equivalence
+// harness (internal/experiments/resume.go) asserts.
+//
+// Observer attachments (Probe, Trace, OnMachineRepair) are never part of
+// a snapshot: tracing and probing must not perturb a run, so they must
+// not perturb a snapshot either. Resumers reattach them via
+// ResumeOptions.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"corral/internal/invariants"
+	"corral/internal/job"
+	"corral/internal/netsim"
+	"corral/internal/snapshot"
+	"corral/internal/trace"
+)
+
+// countingSource wraps the seeded RNG source, counting draws without
+// changing the value stream. The draw count is observable state: a
+// replayed run must consume exactly as many values as the original.
+type countingSource struct {
+	src   rand.Source64
+	draws uint64
+}
+
+func newCountingSource(seed int64) *countingSource {
+	return &countingSource{src: rand.NewSource(seed).(rand.Source64)}
+}
+
+func (c *countingSource) Int63() int64 {
+	c.draws++
+	return c.src.Int63()
+}
+
+func (c *countingSource) Uint64() uint64 {
+	c.draws++
+	return c.src.Uint64()
+}
+
+func (c *countingSource) Seed(seed int64) {
+	c.draws = 0
+	c.src.Seed(seed)
+}
+
+// CheckpointTarget names one point to snapshot at: after EventIndex fired
+// events when EventIndex > 0, otherwise at the first event boundary whose
+// simulated time reaches SimTime. Meta.EventIndex always records the
+// actual (event-exact) capture point.
+type CheckpointTarget struct {
+	EventIndex uint64
+	SimTime    float64
+}
+
+func (t CheckpointTarget) String() string {
+	if t.EventIndex > 0 {
+		return fmt.Sprintf("ev:%d", t.EventIndex)
+	}
+	return fmt.Sprintf("t:%g", t.SimTime)
+}
+
+// ResumeOptions reattaches the observer hooks a snapshot deliberately
+// excludes.
+type ResumeOptions struct {
+	Probe           invariants.Probe
+	Trace           *trace.Tracer
+	OnMachineRepair func(machine int, at float64)
+}
+
+// RunWithSnapshots runs like Run but captures a snapshot at each target,
+// passing it to fn between event firings. fn returning false stops the
+// simulation immediately (RunWithSnapshots then returns (nil, nil)).
+// Targets a drained simulation never reaches make the run's Result come
+// back with an error naming them.
+func RunWithSnapshots(opts Options, jobs []*job.Job, targets []CheckpointTarget, fn func(*snapshot.Snapshot) bool) (*Result, error) {
+	for _, t := range targets {
+		if t.EventIndex == 0 && t.SimTime < 0 {
+			return nil, fmt.Errorf("runtime: invalid snapshot target %v: negative SimTime", t)
+		}
+	}
+	rt, err := newRuntime(opts, jobs)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := rt.buildSpec()
+	if err != nil {
+		return nil, err
+	}
+	rt.start()
+	met := make([]bool, len(targets))
+	for rt.sim.Step() {
+		for i, t := range targets {
+			if met[i] {
+				continue
+			}
+			if t.EventIndex > 0 {
+				if rt.sim.Fired() < t.EventIndex {
+					continue
+				}
+			} else if float64(rt.sim.Now()) < t.SimTime {
+				continue
+			}
+			met[i] = true
+			if !fn(rt.buildSnapshot(spec)) {
+				return nil, nil
+			}
+		}
+	}
+	res, err := rt.finish()
+	if err != nil {
+		return nil, err
+	}
+	for i, t := range targets {
+		if !met[i] {
+			return res, fmt.Errorf("runtime: snapshot target %v not reached: simulation ended after %d events at t=%g",
+				t, res.Events, float64(rt.sim.Now()))
+		}
+	}
+	return res, nil
+}
+
+// CaptureAt runs until the target and returns the snapshot taken there,
+// tearing the run down immediately after. Reaching simulation end first is
+// an error.
+func CaptureAt(opts Options, jobs []*job.Job, target CheckpointTarget) (*snapshot.Snapshot, error) {
+	var snap *snapshot.Snapshot
+	res, err := RunWithSnapshots(opts, jobs, []CheckpointTarget{target}, func(s *snapshot.Snapshot) bool {
+		snap = s
+		return false
+	})
+	if err != nil {
+		return nil, err
+	}
+	if snap == nil {
+		var events uint64
+		if res != nil {
+			events = res.Events
+		}
+		return nil, fmt.Errorf("runtime: snapshot target %v past simulation end (%d events)", target, events)
+	}
+	return snap, nil
+}
+
+// Resume reconstitutes a snapshotted run and continues it to completion.
+// The runtime is rebuilt from the snapshot's Spec and deterministically
+// replayed to Meta.EventIndex; the replayed state is then audited
+// field-by-field against the snapshot's State section. Any mismatch —
+// a corrupted snapshot, or a build whose semantics drifted from the
+// snapshotting build — is reported to the probe as an invariant violation
+// and returned as an error; the run never continues from unverified state.
+func Resume(snap *snapshot.Snapshot, ro ResumeOptions) (*Result, error) {
+	if snap == nil {
+		return nil, fmt.Errorf("runtime: resuming nil snapshot")
+	}
+	if snap.Version != snapshot.Version {
+		return nil, fmt.Errorf("runtime: snapshot version %d not supported (this build reads version %d)", snap.Version, snapshot.Version)
+	}
+	opts, jobs, err := optionsFromSpec(&snap.Spec)
+	if err != nil {
+		return nil, err
+	}
+	opts.Probe = ro.Probe
+	opts.Trace = ro.Trace
+	opts.OnMachineRepair = ro.OnMachineRepair
+	rt, err := newRuntime(opts, jobs)
+	if err != nil {
+		return nil, err
+	}
+	rt.start()
+	for rt.sim.Fired() < snap.Meta.EventIndex {
+		if !rt.sim.Step() {
+			err := fmt.Errorf("snapshot restore audit: event queue drained after %d events, snapshot taken at %d — spec does not reproduce the captured run",
+				rt.sim.Fired(), snap.Meta.EventIndex)
+			rt.probeAudit(err)
+			return nil, err
+		}
+	}
+	if diffs := snapshot.DiffStates(rt.captureState(), &snap.State); len(diffs) > 0 {
+		err := fmt.Errorf("snapshot restore audit: replayed state diverges from captured state in %d field(s): %s",
+			len(diffs), diffs[0])
+		rt.probeAudit(err)
+		return nil, err
+	}
+	// Restored state verified; re-run the DFS byte-conservation audit on it
+	// before continuing, so a monitor attached on resume re-checks the
+	// restored world, not just the events that follow.
+	if rt.opts.Probe != nil {
+		if err := rt.store.AuditAccounting(); err != nil {
+			rt.probeAudit(err)
+		}
+	}
+	rt.sim.Run()
+	return rt.finish()
+}
+
+// buildSpec serializes the run's full input. It fails on inputs that
+// cannot round-trip: a custom network policy instance or a live
+// OnMachineRepair hook.
+func (rt *runtime) buildSpec() (snapshot.Spec, error) {
+	o := rt.opts
+	if o.OnMachineRepair != nil {
+		return snapshot.Spec{}, fmt.Errorf("runtime: cannot snapshot a run with an OnMachineRepair hook (closures do not serialize; reattach it via ResumeOptions)")
+	}
+	policy := ""
+	if o.Network != nil {
+		policy = o.Network.Name()
+		if _, err := policyByName(policy); err != nil {
+			return snapshot.Spec{}, fmt.Errorf("runtime: cannot snapshot run with custom network policy %q", policy)
+		}
+	}
+	spec := snapshot.Spec{
+		Topology:  o.Topology,
+		Scheduler: o.Scheduler.String(),
+		Policy:    policy,
+		Seed:      o.Seed,
+		Plan:      o.Plan,
+
+		BlockSize:            o.BlockSize,
+		DelayNodeLocal:       o.DelayNodeLocal,
+		DelayRackLocal:       o.DelayRackLocal,
+		OutputReplication:    o.OutputReplication,
+		Heartbeat:            o.Heartbeat,
+		ReplanOnFailure:      o.ReplanOnFailure,
+		DisableReReplication: o.DisableReReplication,
+		StragglerFraction:    o.StragglerFraction,
+		StragglerSlowdown:    o.StragglerSlowdown,
+		Speculation:          o.Speculation,
+		SpeculationThreshold: o.SpeculationThreshold,
+		AdhocShare:           o.AdhocShare,
+		RemoteStorageInput:   o.RemoteStorageInput,
+		InMemoryInput:        o.InMemoryInput,
+		TaskFailureProb:      o.TaskFailureProb,
+		MaxTaskAttempts:      o.MaxTaskAttempts,
+		RetryBackoff:         o.RetryBackoff,
+		BlacklistThreshold:   o.BlacklistThreshold,
+		BlacklistCooldown:    o.BlacklistCooldown,
+		MaxAMAttempts:        o.MaxAMAttempts,
+		AMRestartDelay:       o.AMRestartDelay,
+
+		FailedMachines: append([]int(nil), o.FailedMachines...),
+	}
+	for _, je := range rt.jobs {
+		spec.Jobs = append(spec.Jobs, je.job)
+	}
+	for _, f := range o.Failures {
+		spec.Failures = append(spec.Failures, snapshot.Failure{At: f.At, Machine: f.Machine, Downtime: f.Downtime})
+	}
+	for _, lf := range o.LinkFaults {
+		spec.LinkFaults = append(spec.LinkFaults, snapshot.LinkFault{At: lf.At, Rack: lf.Rack, Factor: lf.Factor})
+	}
+	for _, af := range o.AMFailures {
+		spec.AMFailures = append(spec.AMFailures, snapshot.AMFailure{At: af.At, JobID: af.JobID})
+	}
+	for _, c := range o.Corruptions {
+		spec.Corruptions = append(spec.Corruptions, snapshot.Corruption{At: c.At, Machine: c.Machine})
+	}
+	return spec, nil
+}
+
+// policyByName is the inverse of Policy.Name for the bundled policies.
+// "" selects the default (a fresh grouped max-min instance per run).
+func policyByName(name string) (netsim.Policy, error) {
+	switch name {
+	case "":
+		return nil, nil
+	case "maxmin-grouped":
+		return netsim.NewGroupedMaxMin(), nil
+	case "maxmin":
+		return netsim.MaxMinFair{}, nil
+	case "varys":
+		return netsim.Varys{}, nil
+	}
+	return nil, fmt.Errorf("runtime: unknown network policy %q in snapshot spec", name)
+}
+
+// optionsFromSpec rebuilds the run input a snapshot's Spec records.
+func optionsFromSpec(spec *snapshot.Spec) (Options, []*job.Job, error) {
+	kind, err := ParseKind(spec.Scheduler)
+	if err != nil {
+		return Options{}, nil, err
+	}
+	policy, err := policyByName(spec.Policy)
+	if err != nil {
+		return Options{}, nil, err
+	}
+	opts := Options{
+		Topology:  spec.Topology,
+		Scheduler: kind,
+		Network:   policy,
+		Seed:      spec.Seed,
+		Plan:      spec.Plan,
+
+		BlockSize:            spec.BlockSize,
+		DelayNodeLocal:       spec.DelayNodeLocal,
+		DelayRackLocal:       spec.DelayRackLocal,
+		OutputReplication:    spec.OutputReplication,
+		Heartbeat:            spec.Heartbeat,
+		ReplanOnFailure:      spec.ReplanOnFailure,
+		DisableReReplication: spec.DisableReReplication,
+		StragglerFraction:    spec.StragglerFraction,
+		StragglerSlowdown:    spec.StragglerSlowdown,
+		Speculation:          spec.Speculation,
+		SpeculationThreshold: spec.SpeculationThreshold,
+		AdhocShare:           spec.AdhocShare,
+		RemoteStorageInput:   spec.RemoteStorageInput,
+		InMemoryInput:        spec.InMemoryInput,
+		TaskFailureProb:      spec.TaskFailureProb,
+		MaxTaskAttempts:      spec.MaxTaskAttempts,
+		RetryBackoff:         spec.RetryBackoff,
+		BlacklistThreshold:   spec.BlacklistThreshold,
+		BlacklistCooldown:    spec.BlacklistCooldown,
+		MaxAMAttempts:        spec.MaxAMAttempts,
+		AMRestartDelay:       spec.AMRestartDelay,
+
+		FailedMachines: append([]int(nil), spec.FailedMachines...),
+	}
+	for _, f := range spec.Failures {
+		opts.Failures = append(opts.Failures, Failure{At: f.At, Machine: f.Machine, Downtime: f.Downtime})
+	}
+	for _, lf := range spec.LinkFaults {
+		opts.LinkFaults = append(opts.LinkFaults, LinkFault{At: lf.At, Rack: lf.Rack, Factor: lf.Factor})
+	}
+	for _, af := range spec.AMFailures {
+		opts.AMFailures = append(opts.AMFailures, AMFailure{At: af.At, JobID: af.JobID})
+	}
+	for _, c := range spec.Corruptions {
+		opts.Corruptions = append(opts.Corruptions, Corruption{At: c.At, Machine: c.Machine})
+	}
+	return opts, spec.Jobs, nil
+}
+
+// buildSnapshot assembles the full snapshot at the current event boundary.
+func (rt *runtime) buildSnapshot(spec snapshot.Spec) *snapshot.Snapshot {
+	return &snapshot.Snapshot{
+		Version: snapshot.Version,
+		Meta: snapshot.Meta{
+			EventIndex: rt.sim.Fired(),
+			SimTime:    float64(rt.sim.Now()),
+			Seed:       rt.opts.Seed,
+			Scheduler:  rt.opts.Scheduler.String(),
+			Label:      fmt.Sprintf("sim/%s/seed%d", rt.opts.Scheduler, rt.opts.Seed),
+		},
+		Spec:  spec,
+		State: *rt.captureState(),
+	}
+}
+
+// captureState deep-exports every piece of observable simulation state.
+// Must be called between event firings (a clean heap boundary).
+func (rt *runtime) captureState() *snapshot.State {
+	st := &snapshot.State{
+		DES: snapshot.DESState{
+			Now:   float64(rt.sim.Now()),
+			Fired: rt.sim.Fired(),
+			Seq:   rt.sim.Seq(),
+		},
+		RNGDraws: rt.rngSrc.draws,
+		Net:      rt.net.CaptureState(),
+		DFS:      rt.store.CaptureState(),
+	}
+	for _, e := range rt.sim.PendingEvents() {
+		st.DES.Pending = append(st.DES.Pending, snapshot.PendingEvent{
+			At: float64(e.At), Seq: e.Seq, Canceled: e.Canceled,
+		})
+	}
+	r := &st.Runtime
+	r.FreeSlots = append([]int(nil), rt.freeSlots...)
+	r.Dead = append([]bool(nil), rt.dead...)
+	r.DeadCount = rt.deadCount
+	r.MachineOrder = append([]int(nil), rt.machineOrder...)
+	r.Blacklisted = append([]bool(nil), rt.blacklisted...)
+	r.MachineFailures = append([]int(nil), rt.machineFailures...)
+	r.FailedJobs = rt.failedJobs
+	r.RackLinkFactor = append([]float64(nil), rt.rackLinkFactor...)
+	r.RecoverAt = make([]float64, len(rt.recoverAt))
+	for i, v := range rt.recoverAt {
+		if math.IsInf(v, 1) {
+			v = -1 // JSON cannot carry +Inf; -1 encodes "none scheduled"
+		}
+		r.RecoverAt[i] = v
+	}
+	r.RepairBytes = rt.repairBytes
+	r.Replans = rt.replans
+	r.Active = rt.active
+	r.SWLoad = append([]int(nil), rt.swLoad...)
+	r.CoflowID = int64(rt.coflowID)
+	r.DispatchPending = rt.dispatchPending
+	r.RetryPending = rt.retryPending
+	r.Declined = rt.declined
+	r.RunningPlanned = rt.runningPlanned
+	r.RunningAdhoc = rt.runningAdhoc
+	r.HaveAdhoc = rt.haveAdhoc
+	r.HavePlanned = rt.havePlanned
+	r.LastRepairDone = rt.lastRepairDone
+	for _, op := range rt.repairList {
+		r.Repairs = append(r.Repairs, snapshot.RepairState{
+			Src: op.rep.Src, Dst: op.rep.Dst, Slot: op.rep.Slot,
+			Bytes: op.rep.Block.Size, Done: op.done, Canceled: op.canceled,
+		})
+	}
+	for _, je := range rt.jobs {
+		r.Jobs = append(r.Jobs, captureJob(je))
+	}
+	for m := 0; m < len(rt.freeSlots); m++ {
+		for _, tk := range rt.running[m] {
+			a := snapshot.AttemptState{
+				Machine: m,
+				JobID:   tk.je.job.ID,
+				Stage:   tk.st.idx,
+				Started: float64(tk.started),
+				NoSpec:  tk.noSpec,
+				NFlows:  len(tk.flows),
+				NEvents: len(tk.events),
+			}
+			if tk.mapT != nil {
+				a.Role, a.Task, a.Attempts = "map", tk.mapT.index, tk.mapT.attempts
+			} else {
+				a.Role, a.Task, a.Attempts = "reduce", tk.redT.index, tk.redT.attempts
+			}
+			r.Running = append(r.Running, a)
+		}
+	}
+	return st
+}
+
+func captureJob(je *jobExec) snapshot.JobState {
+	js := snapshot.JobState{
+		ID:            je.job.ID,
+		Submitted:     je.submitted,
+		Completion:    je.completion,
+		Failed:        je.failed,
+		FailReason:    je.failReason,
+		AMDown:        je.amDown,
+		AMAttempt:     je.amAttempt,
+		AMFailures:    je.amFailures,
+		Skips:         je.skips,
+		Constrained:   je.allowedRacks != nil,
+		AllowedRacks:  append([]int(nil), je.allowedRacks...),
+		TasksLaunched: je.tasksLaunched,
+		TaskSeconds:   je.taskSeconds,
+		ReduceSeconds: append([]float64(nil), je.reduceSeconds...),
+		StagesLeft:    je.stagesLeft,
+	}
+	if je.assignment != nil {
+		js.HasAssignment = true
+		js.AssignedRacks = append([]int(nil), je.assignment.Racks...)
+		js.Priority = je.assignment.Priority
+	}
+	for rk := range je.racksTouched {
+		js.RacksTouched = append(js.RacksTouched, rk)
+	}
+	sort.Ints(js.RacksTouched)
+	for _, st := range je.stages {
+		js.Stages = append(js.Stages, captureStage(st))
+	}
+	return js
+}
+
+func captureStage(st *stageExec) snapshot.StageState {
+	ss := snapshot.StageState{
+		Phase:            int(st.phase),
+		Coflow:           int64(st.coflow),
+		RemoteStorage:    st.remoteStorage,
+		UpstreamMachines: append([]int(nil), st.upstreamMachines...),
+		PendingMaps:      st.pendingMapCount,
+		MapsDone:         st.mapsDone,
+		MapsOnRack:       append([]int(nil), st.mapsOnRack...),
+		ReducesDone:      st.reducesDone,
+		ReduceMachines:   append([]int(nil), st.reduceMachines...),
+	}
+	for m := range st.mapsOnMachine {
+		ss.MapsOnMachine = append(ss.MapsOnMachine, snapshot.MachineCount{Machine: m, Count: st.mapsOnMachine[m]})
+	}
+	sort.Slice(ss.MapsOnMachine, func(i, j int) bool { return ss.MapsOnMachine[i].Machine < ss.MapsOnMachine[j].Machine })
+	ss.ByMachine = captureQueues(st.byMachine)
+	ss.ByRack = captureQueues(st.byRack)
+	for _, t := range st.anyPref {
+		ss.AnyPref = append(ss.AnyPref, t.index)
+	}
+	for _, t := range st.anywhere {
+		ss.Anywhere = append(ss.Anywhere, t.index)
+	}
+	for _, t := range st.maps {
+		ss.Maps = append(ss.Maps, snapshot.TaskState{
+			Assigned:   t.assigned,
+			Speculated: t.speculated,
+			Attempts:   t.attempts,
+			DoneOn:     t.doneOn,
+			SrcMachine: t.srcMachine,
+			Bytes:      t.bytes,
+		})
+	}
+	for _, rT := range st.reduces {
+		ss.Reduces = append(ss.Reduces, snapshot.TaskState{
+			Speculated: rT.speculated,
+			Attempts:   rT.attempts,
+			DoneOn:     rT.doneOn,
+			SrcMachine: -1,
+		})
+	}
+	for _, rT := range st.reduceQ {
+		ss.ReduceQ = append(ss.ReduceQ, rT.index)
+	}
+	return ss
+}
+
+// captureQueues exports a locality-queue map sorted by key. Stale entries
+// (tasks already assigned through another bucket, awaiting lazy cleanup)
+// are included: future pops depend on them.
+func captureQueues(q map[int][]*mapTask) []snapshot.TaskQueue {
+	keys := make([]int, 0, len(q))
+	for k := range q {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]snapshot.TaskQueue, 0, len(keys))
+	for _, k := range keys {
+		tq := snapshot.TaskQueue{Key: k}
+		for _, t := range q[k] {
+			tq.Tasks = append(tq.Tasks, t.index)
+		}
+		out = append(out, tq)
+	}
+	return out
+}

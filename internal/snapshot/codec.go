@@ -1,0 +1,140 @@
+package snapshot
+
+// Versioned snapshot codec. The on-disk form is a JSON envelope holding
+// the schema version, the three sections as raw JSON, and a sha256 per
+// section:
+//
+//	{"version":1,"meta":{...},"spec":{...},"state":{...},
+//	 "sums":{"meta":"<hex>","spec":"<hex>","state":"<hex>"}}
+//
+// Decode is strict by construction — it either returns the exact snapshot
+// that was encoded or an error, never a partial restore:
+//
+//   - an unknown or newer version fails before any section is touched;
+//   - a flipped byte anywhere in a section fails its checksum;
+//   - an unknown field (schema drift) fails the strict section decode.
+//
+// Encoding is deterministic: encoding/json emits struct fields in
+// declaration order, sorts map keys, and formats floats shortest
+// round-trip, so equal snapshots encode to equal bytes.
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+type envelope struct {
+	Version int             `json:"version"`
+	Meta    json.RawMessage `json:"meta"`
+	Spec    json.RawMessage `json:"spec"`
+	State   json.RawMessage `json:"state"`
+	Sums    sums            `json:"sums"`
+}
+
+type sums struct {
+	Meta  string `json:"meta"`
+	Spec  string `json:"spec"`
+	State string `json:"state"`
+}
+
+// Checksum is the per-section integrity hash (sha256, hex).
+func Checksum(b []byte) string {
+	h := sha256.Sum256(b)
+	return hex.EncodeToString(h[:])
+}
+
+func sum(b []byte) string { return Checksum(b) }
+
+// Encode serializes the snapshot to its canonical byte form.
+func Encode(s *Snapshot) ([]byte, error) {
+	if s == nil {
+		return nil, fmt.Errorf("snapshot: encoding nil snapshot")
+	}
+	meta, err := json.Marshal(&s.Meta)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: encoding meta: %w", err)
+	}
+	spec, err := json.Marshal(&s.Spec)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: encoding spec: %w", err)
+	}
+	state, err := json.Marshal(&s.State)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: encoding state: %w", err)
+	}
+	env := envelope{
+		Version: s.Version,
+		Meta:    meta,
+		Spec:    spec,
+		State:   state,
+		Sums:    sums{Meta: sum(meta), Spec: sum(spec), State: sum(state)},
+	}
+	return json.Marshal(&env)
+}
+
+// Decode parses a snapshot, rejecting unknown versions, corrupted sections
+// and schema drift with a clear error. It never returns a partially
+// populated snapshot.
+func Decode(data []byte) (*Snapshot, error) {
+	// Loose version probe first: a snapshot from a future schema must fail
+	// on its version, not on whatever field it added.
+	var probe struct {
+		Version *int `json:"version"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil, fmt.Errorf("snapshot: not a snapshot file: %w", err)
+	}
+	if probe.Version == nil {
+		return nil, fmt.Errorf("snapshot: not a snapshot file: missing version")
+	}
+	if *probe.Version != Version {
+		return nil, fmt.Errorf("snapshot: version %d not supported (this build reads version %d)", *probe.Version, Version)
+	}
+	var env envelope
+	if err := strictUnmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("snapshot: malformed envelope: %w", err)
+	}
+	for _, sec := range []struct {
+		name string
+		raw  json.RawMessage
+		want string
+	}{
+		{"meta", env.Meta, env.Sums.Meta},
+		{"spec", env.Spec, env.Sums.Spec},
+		{"state", env.State, env.Sums.State},
+	} {
+		if len(sec.raw) == 0 {
+			return nil, fmt.Errorf("snapshot: %s section missing", sec.name)
+		}
+		if got := sum(sec.raw); got != sec.want {
+			return nil, fmt.Errorf("snapshot: %s section corrupted (checksum mismatch)", sec.name)
+		}
+	}
+	s := &Snapshot{Version: env.Version}
+	if err := strictUnmarshal(env.Meta, &s.Meta); err != nil {
+		return nil, fmt.Errorf("snapshot: malformed meta section: %w", err)
+	}
+	if err := strictUnmarshal(env.Spec, &s.Spec); err != nil {
+		return nil, fmt.Errorf("snapshot: malformed spec section: %w", err)
+	}
+	if err := strictUnmarshal(env.State, &s.State); err != nil {
+		return nil, fmt.Errorf("snapshot: malformed state section: %w", err)
+	}
+	return s, nil
+}
+
+// strictUnmarshal decodes JSON rejecting unknown fields and trailing data.
+func strictUnmarshal(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data after JSON value")
+	}
+	return nil
+}

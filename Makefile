@@ -5,13 +5,13 @@
 GO ?= go
 
 .PHONY: check ci-local fast-gate build vet fmt-check test race corralvet \
-	chaos fuzz trace-determinism resume-determinism bench bench-compare
+	chaos fuzz overload trace-determinism resume-determinism bench bench-compare
 
-check: build vet fmt-check test race chaos fuzz trace-determinism resume-determinism
+check: build vet fmt-check test race chaos fuzz overload trace-determinism resume-determinism
 	@echo "check: all gates passed"
 
 # One target per CI job, in the workflow's job order.
-ci-local: fast-gate test trace-determinism resume-determinism race chaos fuzz bench-compare
+ci-local: fast-gate test trace-determinism resume-determinism race chaos fuzz overload bench-compare
 	@echo "ci-local: all CI jobs passed"
 
 fast-gate: build vet fmt-check
@@ -59,6 +59,17 @@ chaos:
 # every bundled crash rate, completion degrades monotonically).
 fuzz:
 	$(GO) test ./internal/experiments -run 'TestFuzz|TestAttritionSweep' -count=1 -v
+
+# Overload gate: at 4x the saturating arrival rate under a fault storm,
+# budgeted Corral (planner deadline budget + replan-storm suppression +
+# admission control) must finish with the armed replan-rate and
+# admission-queue bounds clean and every job completed or shed, while the
+# unhardened replanning configuration demonstrably trips the replan-rate
+# bound (anti-vacuity); the sweep is bit-identical across seeds, worker
+# counts and a mid-storm snapshot/resume. -count=1 defeats the test cache.
+overload:
+	$(GO) test ./internal/experiments -run 'TestOverload' -count=1 -v
+	$(GO) test ./internal/runtime -run 'TestReplanSuppression|TestPlannerBudget|TestAdmission|TestOverload' -count=1
 
 # Resume-determinism gate: runs restored from mid-flight snapshots must
 # finish with a bit-identical Result and trace export at any sweep worker

@@ -243,6 +243,76 @@ func BenchmarkExtSharedData(b *testing.B) {
 	benchExperiment(b, "ext-shared-data", "crossrack_gb_shared", "crossrack_gb_perjob")
 }
 
+// Overload-hardening benchmarks: the planner cost model that budgets are
+// compared against, an admission-controlled simulation, and the full
+// overload sweep (3 configurations x 2 rates under a fault storm). The
+// deferred/shed counts and cost-model values are deterministic, so the
+// regression gate pins them bit for bit.
+
+func BenchmarkPlannerCostModel(b *testing.B) {
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		for jobs := 1; jobs <= 256; jobs *= 4 {
+			for racks := 2; racks <= 32; racks *= 2 {
+				sink += corral.PlannerCostFull(jobs, racks, 3*jobs)
+				sink += corral.PlannerCostIncremental(jobs, racks, 3*jobs)
+			}
+		}
+	}
+	if sink <= 0 {
+		b.Fatal("cost model returned nothing")
+	}
+	b.ReportMetric(corral.PlannerCostFull(100, 16, 300), "cost_full_100j16r")
+	b.ReportMetric(corral.PlannerCostIncremental(100, 16, 300), "cost_incremental_100j16r")
+}
+
+func BenchmarkAdmissionControl(b *testing.B) {
+	cluster := corral.ClusterConfig{
+		Racks: 4, MachinesPerRack: 4, SlotsPerMachine: 2,
+		NICBandwidth: 10e9 / 8, Oversubscription: 5,
+	}
+	jobs := corral.W1(corral.WorkloadConfig{Seed: 1, Jobs: 12, Scale: 1.0 / 20, TaskScale: 1.0 / 20})
+	for i, j := range jobs {
+		j.Arrival = 0.1 * float64(i)
+	}
+	b.ResetTimer()
+	var res *corral.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = corral.Simulate(corral.SimConfig{
+			Cluster: cluster, Seed: 1,
+			AdmissionLimit: 2, AdmissionQueueCap: 4,
+		}, corral.CloneJobs(jobs))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.Deferred), "deferred")
+	b.ReportMetric(float64(res.Shed), "shed")
+	b.ReportMetric(float64(res.MaxAdmissionQueue), "peak_queue")
+}
+
+func benchOverloadSweep(b *testing.B, workers int) {
+	b.Helper()
+	corral.SetSweepWorkers(workers)
+	defer corral.SetSweepWorkers(0)
+	size := benchSize(b)
+	var rep *corral.ExperimentReport
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = corral.RunOverloadExperiment(size, 1, []float64{1, 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rep.Values["violations_budgeted_r04"], "violations_budgeted_r04")
+	b.ReportMetric(rep.Values["suppressed_r04"], "suppressed_r04")
+}
+
+func BenchmarkOverloadSweepSerial(b *testing.B)   { benchOverloadSweep(b, 1) }
+func BenchmarkOverloadSweepParallel(b *testing.B) { benchOverloadSweep(b, 0) }
+
 // Snapshot-layer benchmarks: the cost of capturing a mid-flight snapshot
 // (simulate to the midpoint + deep state export), of encoding it to the
 // canonical checksummed byte form, and of a full restore (replay to the

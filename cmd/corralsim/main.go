@@ -32,6 +32,14 @@ func main() {
 			"comma-separated fault intensities for the chaos sweep (implies -exp chaos)")
 		fuzzTraces = flag.Int("fuzz-traces", 0,
 			"trace count for the corralcheck fuzzer (implies -exp fuzz; 0 = bundled default)")
+		arrivalRates = flag.String("arrival-rates", "",
+			"comma-separated arrival-rate multipliers for the overload sweep (implies -exp overload)")
+		plannerBudget = flag.Float64("planner-budget", 0,
+			"planner deadline budget in simulated seconds for the overload sweep (0 = bundled default)")
+		replanWindow = flag.Float64("replan-window", 0,
+			"replan-storm suppression window in simulated seconds for the overload sweep (0 = bundled default)")
+		admissionLimit = flag.Int("admission-limit", 0,
+			"max concurrently admitted jobs for the overload sweep (0 = bundled default)")
 		workers = flag.Int("workers", 0,
 			"worker pool bound for parallel experiment sweeps (0 = GOMAXPROCS, 1 = serial; results are identical for any value)")
 		tracePath = flag.String("trace", "",
@@ -44,7 +52,13 @@ func main() {
 			"resume a snapshot file written by -snapshot-at: restore, audit, run to completion and print the outcome")
 	)
 	flag.Parse()
-	if err := validateFlagCombos(*exp, *snapshotAt, *snapshotOut, *resumePath); err != nil {
+	ov := overloadFlags{
+		arrivalRates:   *arrivalRates,
+		plannerBudget:  *plannerBudget,
+		replanWindow:   *replanWindow,
+		admissionLimit: *admissionLimit,
+	}
+	if err := validateFlagCombos(*exp, *snapshotAt, *snapshotOut, *resumePath, ov); err != nil {
 		fmt.Fprintln(os.Stderr, "corralsim:", err)
 		flag.Usage()
 		os.Exit(2)
@@ -161,7 +175,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		intensities, err := parseFloats(*chaosI)
+		intensities, err := parseFloats(*chaosI, "intensity")
 		if err != nil {
 			fatal(err)
 		}
@@ -171,6 +185,35 @@ func main() {
 		}
 		if *asJSON {
 			emitJSON(map[string]map[string]float64{"chaos": report.Values})
+			return
+		}
+		fmt.Println(report)
+		return
+	}
+
+	// The overload sweep gets its own dispatch whenever a knob or the rate
+	// list is set; a bare -exp overload falls through to the registry with
+	// the bundled defaults.
+	if ov.arrivalRates != "" || (*exp == "overload" && ov.knobsSet()) {
+		sz, err := parseSize(*size)
+		if err != nil {
+			fatal(err)
+		}
+		var rates []float64
+		if ov.arrivalRates != "" {
+			if rates, err = parseFloats(ov.arrivalRates, "arrival rate"); err != nil {
+				fatal(err)
+			}
+		}
+		report, err := corral.RunOverloadSweep(corral.OverloadParams{
+			Size: sz, Seed: *seed, Rates: rates,
+			Budget: ov.plannerBudget, Window: ov.replanWindow, AdmissionLimit: ov.admissionLimit,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if *asJSON {
+			emitJSON(map[string]map[string]float64{"overload": report.Values})
 			return
 		}
 		fmt.Println(report)
@@ -237,9 +280,23 @@ func parseSize(s string) (corral.ExperimentSize, error) {
 	return 0, fmt.Errorf("unknown size %q (want s, m or l)", s)
 }
 
+// overloadFlags bundles the overload-sweep knobs for validation and
+// dispatch.
+type overloadFlags struct {
+	arrivalRates   string
+	plannerBudget  float64
+	replanWindow   float64
+	admissionLimit int
+}
+
+// knobsSet reports whether any hardening knob deviates from its default.
+func (f overloadFlags) knobsSet() bool {
+	return f.plannerBudget > 0 || f.replanWindow > 0 || f.admissionLimit > 0
+}
+
 // validateFlagCombos rejects flag combinations with no coherent meaning;
 // the caller prints usage and exits non-zero.
-func validateFlagCombos(exp, snapshotAt, snapshotOut, resume string) error {
+func validateFlagCombos(exp, snapshotAt, snapshotOut, resume string, ov overloadFlags) error {
 	if resume != "" && exp != "" {
 		return fmt.Errorf("-resume cannot be combined with -exp: a resumed run replays its snapshot's own spec")
 	}
@@ -251,6 +308,29 @@ func validateFlagCombos(exp, snapshotAt, snapshotOut, resume string) error {
 	}
 	if snapshotOut != "" && snapshotAt == "" {
 		return fmt.Errorf("-snapshot-out requires -snapshot-at")
+	}
+	if ov.plannerBudget < 0 {
+		return fmt.Errorf("-planner-budget must be non-negative (simulated seconds; 0 = default)")
+	}
+	if ov.replanWindow < 0 {
+		return fmt.Errorf("-replan-window must be non-negative (simulated seconds; 0 = default)")
+	}
+	if ov.admissionLimit < 0 {
+		return fmt.Errorf("-admission-limit must be non-negative (0 = default)")
+	}
+	if ov.arrivalRates != "" && exp != "" && exp != "overload" {
+		return fmt.Errorf("-arrival-rates implies -exp overload and cannot be combined with -exp %s", exp)
+	}
+	if ov.knobsSet() && ov.arrivalRates == "" && exp != "overload" {
+		return fmt.Errorf("-planner-budget, -replan-window and -admission-limit configure the overload sweep: add -exp overload or -arrival-rates")
+	}
+	if ov.arrivalRates != "" || ov.knobsSet() {
+		if resume != "" {
+			return fmt.Errorf("-resume cannot be combined with overload sweep flags")
+		}
+		if snapshotAt != "" {
+			return fmt.Errorf("-snapshot-at cannot be combined with overload sweep flags")
+		}
 	}
 	return nil
 }
@@ -281,12 +361,12 @@ func parseTarget(s string) (corral.CheckpointTarget, error) {
 	}
 }
 
-func parseFloats(s string) ([]float64, error) {
+func parseFloats(s, noun string) ([]float64, error) {
 	var out []float64
 	for _, part := range strings.Split(s, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
 		if err != nil {
-			return nil, fmt.Errorf("bad intensity %q: %v", part, err)
+			return nil, fmt.Errorf("bad %s %q: %v", noun, part, err)
 		}
 		out = append(out, v)
 	}

@@ -9,6 +9,7 @@ func TestValidateFlagCombos(t *testing.T) {
 	cases := []struct {
 		name                                 string
 		exp, snapshotAt, snapshotOut, resume string
+		ov                                   overloadFlags
 		wantErr                              string
 	}{
 		{name: "plain experiment", exp: "fig6"},
@@ -19,9 +20,33 @@ func TestValidateFlagCombos(t *testing.T) {
 		{name: "resume with snapshot", snapshotAt: "ev:5", resume: "s.json", wantErr: "mutually exclusive"},
 		{name: "snapshot with exp", exp: "fig6", snapshotAt: "ev:5", wantErr: "-snapshot-at cannot be combined with -exp"},
 		{name: "out without at", snapshotOut: "s.json", wantErr: "-snapshot-out requires -snapshot-at"},
+
+		// Overload sweep flags.
+		{name: "overload alone", exp: "overload"},
+		{name: "overload with knobs", exp: "overload",
+			ov: overloadFlags{plannerBudget: 0.5, replanWindow: 10, admissionLimit: 4}},
+		{name: "rates imply overload", ov: overloadFlags{arrivalRates: "1,4"}},
+		{name: "rates with explicit overload", exp: "overload", ov: overloadFlags{arrivalRates: "1,2,4"}},
+		{name: "rates with knobs only", ov: overloadFlags{arrivalRates: "4", admissionLimit: 2}},
+		{name: "negative budget", exp: "overload", ov: overloadFlags{plannerBudget: -1},
+			wantErr: "-planner-budget must be non-negative"},
+		{name: "negative window", exp: "overload", ov: overloadFlags{replanWindow: -0.1},
+			wantErr: "-replan-window must be non-negative"},
+		{name: "negative limit", exp: "overload", ov: overloadFlags{admissionLimit: -2},
+			wantErr: "-admission-limit must be non-negative"},
+		{name: "rates with other exp", exp: "fig6", ov: overloadFlags{arrivalRates: "1,4"},
+			wantErr: "-arrival-rates implies -exp overload"},
+		{name: "knobs without overload", exp: "fig6", ov: overloadFlags{plannerBudget: 0.5},
+			wantErr: "configure the overload sweep"},
+		{name: "knobs with nothing else", ov: overloadFlags{admissionLimit: 3},
+			wantErr: "configure the overload sweep"},
+		{name: "rates with resume", resume: "s.json", ov: overloadFlags{arrivalRates: "1,4"},
+			wantErr: "-resume cannot be combined with overload sweep flags"},
+		{name: "rates with snapshot", snapshotAt: "ev:5", ov: overloadFlags{arrivalRates: "1,4"},
+			wantErr: "-snapshot-at cannot be combined with overload sweep flags"},
 	}
 	for _, c := range cases {
-		err := validateFlagCombos(c.exp, c.snapshotAt, c.snapshotOut, c.resume)
+		err := validateFlagCombos(c.exp, c.snapshotAt, c.snapshotOut, c.resume, c.ov)
 		if c.wantErr == "" {
 			if err != nil {
 				t.Errorf("%s: unexpected error %v", c.name, err)

@@ -12,7 +12,10 @@
 //     utilization and the time spent at or above 99% capacity.
 //
 // Planner runs (plan_start/plan_assign/plan_done) are summarized as the
-// chosen rack sets. The output is a pure function of the trace bytes.
+// chosen rack sets, and overload-hardening activity (budget misses and
+// fallback tiers, suppressed replans, deferred and shed arrivals with the
+// peak admission-queue depth) is rolled up into a degradation line. The
+// output is a pure function of the trace bytes.
 //
 // Usage:
 //
@@ -153,6 +156,15 @@ type runSummary struct {
 	shuffleAt map[taskKey]float64
 	plans     []string
 	replans   int
+
+	// Overload-hardening roll-up.
+	suppressed     int
+	budgetExceeded int
+	degradeInc     int // fallback tier 1: commitments-only incremental replan
+	degradeGreedy  int // fallback tier 2: greedy Yarn-CS placement
+	deferred       int
+	shed           int
+	peakQueue      int
 }
 
 func newRunSummary(label string) *runSummary {
@@ -232,6 +244,26 @@ func (rs *runSummary) add(e *event) {
 		}
 	case "replan":
 		rs.replans++
+	case "plan_budget_exceeded":
+		rs.budgetExceeded++
+	case "degrade":
+		if e.Att == 2 {
+			rs.degradeGreedy++
+		} else {
+			rs.degradeInc++
+		}
+	case "replan_suppressed":
+		rs.suppressed++
+	case "job_deferred":
+		rs.deferred++
+		if d := int(e.Value); d > rs.peakQueue {
+			rs.peakQueue = d
+		}
+	case "job_shed":
+		rs.shed++
+		if d := int(e.Value); d > rs.peakQueue {
+			rs.peakQueue = d
+		}
 	case "plan_assign":
 		rs.plans = append(rs.plans,
 			fmt.Sprintf("  job %-4d prio %-3d start %8.1fs racks [%s]",
@@ -254,6 +286,12 @@ func (rs *runSummary) print(w io.Writer, top int) {
 	fmt.Fprintf(w, "run %s\n", rs.label)
 	if rs.replans > 0 {
 		fmt.Fprintf(w, "  %d failure-triggered replan(s)\n", rs.replans)
+	}
+	if rs.budgetExceeded+rs.suppressed+rs.degradeInc+rs.degradeGreedy+rs.deferred+rs.shed > 0 {
+		fmt.Fprintf(w, "  overload degradation: %d budget miss(es) -> %d incremental / %d greedy fallback(s), %d replan(s) suppressed\n",
+			rs.budgetExceeded, rs.degradeInc, rs.degradeGreedy, rs.suppressed)
+		fmt.Fprintf(w, "  admission control: %d deferred, %d shed, peak queue depth %d\n",
+			rs.deferred, rs.shed, rs.peakQueue)
 	}
 	if len(rs.plans) > 0 {
 		fmt.Fprintf(w, "  planned assignments:\n")

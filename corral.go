@@ -208,6 +208,27 @@ type SimConfig struct {
 	// over to the next-closest clean replica and enqueue the bad replica
 	// for re-replication.
 	Corruptions []Corruption
+	// PlannerBudget is the planning deadline in simulated seconds. When
+	// > 0, every failure-triggered replan is charged a deterministic cost
+	// (a function of jobs x racks x stages) and takes effect only after
+	// that latency; plans whose cost exceeds the budget degrade down the
+	// fallback chain full plan -> commitments-only incremental replan ->
+	// greedy unconstrained placement. Zero keeps planning instantaneous
+	// (the legacy behavior); Result.Degradations counts the tiers taken.
+	PlannerBudget float64
+	// ReplanWindow enables replan-storm suppression: each debounce window
+	// of this many simulated seconds allows MaxReplansPerWindow immediate
+	// replans (default 1), coalesces the rest into one replan at the
+	// window's end, and stretches subsequent windows exponentially (up to
+	// 8x) while storms persist. Zero disables suppression.
+	ReplanWindow        float64
+	MaxReplansPerWindow int
+	// AdmissionLimit bounds how many jobs run concurrently: excess
+	// arrivals park in a FIFO admission queue of AdmissionQueueCap entries
+	// (default 4x the limit) and are deterministically shed beyond it.
+	// Zero admits everything immediately (the legacy behavior).
+	AdmissionLimit    int
+	AdmissionQueueCap int
 	// Probe receives runtime lifecycle events (task attempts, machine
 	// state, AM restarts, job terminality); attach an InvariantMonitor to
 	// check the run. Nil disables probing.
@@ -292,6 +313,11 @@ func simOptions(cfg SimConfig) runtime.Options {
 		MaxAMAttempts:        cfg.MaxAMAttempts,
 		AMRestartDelay:       cfg.AMRestartDelay,
 		Corruptions:          cfg.Corruptions,
+		PlannerBudget:        cfg.PlannerBudget,
+		ReplanWindow:         cfg.ReplanWindow,
+		MaxReplansPerWindow:  cfg.MaxReplansPerWindow,
+		AdmissionLimit:       cfg.AdmissionLimit,
+		AdmissionQueueCap:    cfg.AdmissionQueueCap,
 		Probe:                cfg.Probe,
 		Trace:                cfg.Trace,
 	}
@@ -525,6 +551,53 @@ func RunFuzzExperiment(size ExperimentSize, seed int64, traces int) (*Experiment
 		traces = experiments.DefaultFuzzTraces
 	}
 	return experiments.FuzzWithTraces(experiments.Params{Size: size, Seed: seed}, traces)
+}
+
+// OverloadParams configures an overload sweep; OverloadReport is its
+// outcome and OverloadRun one arrival rate's row.
+type (
+	OverloadParams = experiments.OverloadParams
+	OverloadReport = experiments.OverloadReport
+	OverloadRun    = experiments.OverloadRun
+)
+
+// Degradations counts which planner-fallback tiers a budgeted run took
+// (full plan / incremental replan / greedy placement).
+type Degradations = runtime.Degradations
+
+// RunOverload sweeps arrival rates past saturation under a fault storm,
+// comparing Yarn-CS, unhardened replanning Corral (with the replan-rate
+// invariant armed) and budgeted Corral with storm suppression and
+// admission control.
+func RunOverload(p OverloadParams) (*OverloadReport, error) {
+	return experiments.RunOverload(p)
+}
+
+// RunOverloadExperiment renders an overload sweep as an ExperimentReport;
+// nil or empty rates select the bundled default sweep.
+func RunOverloadExperiment(size ExperimentSize, seed int64, rates []float64) (*ExperimentReport, error) {
+	return experiments.OverloadWithRates(experiments.Params{Size: size, Seed: seed}, rates)
+}
+
+// RunOverloadSweep renders an overload sweep with full knob control —
+// arrival rates, planner budget, replan window and admission limit (the
+// corralsim overload flags). Zero knob values keep the bundled defaults.
+func RunOverloadSweep(p OverloadParams) (*ExperimentReport, error) {
+	return experiments.OverloadSweep(p)
+}
+
+// PlannerCostFull returns the simulated latency charged for a full
+// two-phase plan over jobs jobs, racks racks and stages total stages —
+// the deterministic cost model SimConfig.PlannerBudget is compared
+// against when choosing a fallback tier. Use it to size budgets.
+func PlannerCostFull(jobs, racks, stages int) float64 {
+	return planner.CostFull(jobs, racks, stages)
+}
+
+// PlannerCostIncremental returns the simulated latency charged for a
+// commitments-only incremental replan (the middle fallback tier).
+func PlannerCostIncremental(jobs, racks, stages int) float64 {
+	return planner.CostIncremental(jobs, racks, stages)
 }
 
 // ResumeParams configures a crash-resume equivalence sweep; ResumeReport

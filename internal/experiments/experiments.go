@@ -141,6 +141,7 @@ func Registry() []struct {
 		{"ext-replan", "extension: periodic replanning for late jobs (§3.1)", ExtReplan},
 		{"ext-shared-data", "extension: shared datasets / data-job dependencies (§7)", ExtSharedData},
 		{"chaos", "chaos: graceful degradation under machine + uplink fault traces", Chaos},
+		{"overload", "overload: budgeted planning, storm suppression + admission control under arrival-rate sweeps", Overload},
 		{"attrition", "attrition: task retries + blacklisting under rising crash rates", Attrition},
 		{"fuzz", "corralcheck: randomized fault traces under the invariant monitor", Fuzz},
 		{"resume", "resume: crash-resume equivalence of snapshotted runs", Resume},

@@ -68,6 +68,17 @@ const (
 	Audit
 	// SimEnd: the event queue drained; final checks run here.
 	SimEnd
+	// Replan: the runtime invoked the planner for a failure-triggered
+	// replan. Checked against the BoundReplanRate budget when armed.
+	Replan
+	// JobDefer: an arrival was parked in the admission queue; Machine
+	// carries the queue depth (not a machine index). Checked against the
+	// BoundAdmissionQueue cap when armed.
+	JobDefer
+	// JobShed: an arrival was rejected at admission-queue capacity. A
+	// terminal outcome — shed jobs are never submitted, so terminality is
+	// checked without the submission requirement.
+	JobShed
 )
 
 var kindNames = map[Kind]string{
@@ -78,6 +89,7 @@ var kindNames = map[Kind]string{
 	AMFail: "am-fail", AMRestart: "am-restart",
 	JobDone: "job-done", JobFail: "job-fail",
 	Corruption: "corruption", Audit: "audit", SimEnd: "sim-end",
+	Replan: "replan", JobDefer: "job-defer", JobShed: "job-shed",
 }
 
 func (k Kind) String() string {
@@ -122,6 +134,13 @@ type Monitor struct {
 	submitted map[int]bool
 	terminal  map[int]Kind
 
+	// Overload bounds; zero values keep the checks disarmed so existing
+	// gates observe the new event kinds without new obligations.
+	replanMax    int
+	replanWindow float64
+	replanTimes  []float64
+	admissionCap int
+
 	violations []string
 	count      int
 	ended      bool
@@ -138,6 +157,22 @@ func NewMonitor(machines, slotsPerMachine int) *Monitor {
 		submitted:   make(map[int]bool),
 		terminal:    make(map[int]Kind),
 	}
+}
+
+// BoundReplanRate arms the replan-rate invariant: more than max Replan
+// events within any trailing window of the given length (seconds of
+// simulated time) is a violation. Verifies that replan-storm suppression
+// actually bounds planner invocations under fault bursts.
+func (m *Monitor) BoundReplanRate(max int, window float64) {
+	m.replanMax = max
+	m.replanWindow = window
+}
+
+// BoundAdmissionQueue arms the admission-queue invariant: a JobDefer
+// event reporting a queue depth above cap is a violation. Verifies that
+// admission control keeps the pending-arrival backlog bounded.
+func (m *Monitor) BoundAdmissionQueue(cap int) {
+	m.admissionCap = cap
 }
 
 // Violationf records one invariant violation.
@@ -234,6 +269,33 @@ func (m *Monitor) Observe(e Event) {
 		if !m.submitted[e.Job] {
 			m.Violationf("t=%.3f job %d: terminal event %v without submission", e.Time, e.Job, e.Kind)
 		}
+	case Replan:
+		if m.replanWindow > 0 {
+			m.replanTimes = append(m.replanTimes, e.Time)
+			// Drop times outside the trailing window (t-window, t].
+			cut := 0
+			for cut < len(m.replanTimes) && m.replanTimes[cut] <= e.Time-m.replanWindow {
+				cut++
+			}
+			m.replanTimes = m.replanTimes[cut:]
+			if len(m.replanTimes) > m.replanMax {
+				m.Violationf("t=%.3f: %d replans within the last %.3f s exceed the bound of %d",
+					e.Time, len(m.replanTimes), m.replanWindow, m.replanMax)
+			}
+		}
+	case JobDefer:
+		// Machine carries the admission-queue depth, not a machine index.
+		if m.admissionCap > 0 && e.Machine > m.admissionCap {
+			m.Violationf("t=%.3f job %d: admission queue depth %d exceeds the cap of %d",
+				e.Time, e.Job, e.Machine, m.admissionCap)
+		}
+	case JobShed:
+		// Terminal without the submission requirement: shed jobs never
+		// entered the scheduler.
+		if prev, ok := m.terminal[e.Job]; ok {
+			m.Violationf("t=%.3f job %d: second terminal event %v (already %v)", e.Time, e.Job, e.Kind, prev)
+		}
+		m.terminal[e.Job] = e.Kind
 	case Audit:
 		m.Violationf("t=%.3f audit failed: %s", e.Time, e.Detail)
 	case SimEnd:

@@ -148,3 +148,83 @@ func assertViolation(t *testing.T, m *Monitor, substr string) {
 	}
 	t.Fatalf("no violation contains %q; got %v", substr, m.Violations())
 }
+
+// TestReplanRateBound: the armed replan-rate invariant fires when more
+// than max replans land inside the trailing window, and stays quiet for
+// a paced stream or when disarmed.
+func TestReplanRateBound(t *testing.T) {
+	m := NewMonitor(4, 2)
+	m.BoundReplanRate(2, 10)
+	for _, tm := range []float64{0, 3, 20, 35} { // never >2 in any 10 s
+		m.Observe(ev(tm, Replan, -1, -1))
+	}
+	if n := m.ViolationCount(); n != 0 {
+		t.Fatalf("paced replans produced %d violations: %v", n, m.Violations())
+	}
+
+	m = NewMonitor(4, 2)
+	m.BoundReplanRate(2, 10)
+	for _, tm := range []float64{40, 41, 42} { // 3 within 10 s
+		m.Observe(ev(tm, Replan, -1, -1))
+	}
+	if n := m.ViolationCount(); n != 1 {
+		t.Fatalf("burst produced %d violations, want 1: %v", n, m.Violations())
+	}
+	if !strings.Contains(m.Violations()[0], "replans within") {
+		t.Fatalf("unexpected message %q", m.Violations()[0])
+	}
+
+	// Disarmed: any burst is fine.
+	m = NewMonitor(4, 2)
+	for i := 0; i < 50; i++ {
+		m.Observe(ev(1, Replan, -1, -1))
+	}
+	if n := m.ViolationCount(); n != 0 {
+		t.Fatalf("disarmed monitor produced %d violations", n)
+	}
+}
+
+// TestAdmissionQueueBound: JobDefer depths above the armed cap fire; the
+// depth rides in the Machine field and must not be range-checked as a
+// machine index.
+func TestAdmissionQueueBound(t *testing.T) {
+	m := NewMonitor(4, 2)
+	m.BoundAdmissionQueue(3)
+	m.Observe(ev(1, JobDefer, 3, 7)) // at cap: fine (depth 3 > 4 machines would misfire machineOK)
+	if n := m.ViolationCount(); n != 0 {
+		t.Fatalf("in-bound defer produced %d violations: %v", n, m.Violations())
+	}
+	m.Observe(ev(2, JobDefer, 4, 8))
+	if n := m.ViolationCount(); n != 1 {
+		t.Fatalf("over-cap defer produced %d violations, want 1: %v", n, m.Violations())
+	}
+	if !strings.Contains(m.Violations()[0], "admission queue depth") {
+		t.Fatalf("unexpected message %q", m.Violations()[0])
+	}
+}
+
+// TestShedTerminality: a shed job is terminal without submission (no
+// violation), but double-terminal still fires — including shed-then-done.
+func TestShedTerminality(t *testing.T) {
+	m := NewMonitor(4, 2)
+	m.Observe(ev(1, JobShed, -1, 9))
+	m.Observe(ev(5, SimEnd, -1, -1))
+	if n := m.ViolationCount(); n != 0 {
+		t.Fatalf("shed job produced %d violations: %v", n, m.Violations())
+	}
+
+	m = NewMonitor(4, 2)
+	m.Observe(ev(1, JobShed, -1, 9))
+	m.Observe(ev(2, JobShed, -1, 9))
+	if n := m.ViolationCount(); n != 1 {
+		t.Fatalf("double shed produced %d violations, want 1: %v", n, m.Violations())
+	}
+
+	m = NewMonitor(4, 2)
+	m.Observe(ev(0, JobSubmit, -1, 9))
+	m.Observe(ev(1, JobShed, -1, 9))
+	m.Observe(ev(2, JobDone, -1, 9))
+	if n := m.ViolationCount(); n != 1 {
+		t.Fatalf("shed-then-done produced %d violations, want 1: %v", n, m.Violations())
+	}
+}

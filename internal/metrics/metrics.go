@@ -181,3 +181,6 @@ func F(v float64, prec int) string { return fmt.Sprintf("%.*f", prec, v) }
 
 // Pct formats a percentage cell.
 func Pct(v float64) string { return fmt.Sprintf("%.1f%%", v) }
+
+// D formats an integer count for table cells.
+func D(n int) string { return fmt.Sprintf("%d", n) }

@@ -119,6 +119,85 @@ func Replan(in Input, now float64, commitments []Commitment) (*Plan, error) {
 	return plan, nil
 }
 
+// ReplanIncremental is the budget-constrained middle tier of the fallback
+// chain: it skips the provisioning phase entirely, keeps each job's
+// previously provisioned rack count (widths, keyed by job ID; jobs
+// without an entry default to one rack) and runs a single prioritization
+// pass against the commitments. Cost: CostIncremental instead of
+// CostFull — one pass instead of J·(R−1)+1.
+func ReplanIncremental(in Input, now float64, commitments []Commitment, widths map[int]int) (*Plan, error) {
+	J := len(in.Jobs)
+	R := in.Cluster.Racks
+	if R <= 0 {
+		return nil, fmt.Errorf("planner: cluster has %d racks", R)
+	}
+	initF := make([]float64, R)
+	for i := range initF {
+		initF[i] = now
+	}
+	for _, c := range commitments {
+		for _, r := range c.Racks {
+			if r < 0 || r >= R {
+				return nil, fmt.Errorf("planner: commitment rack %d out of range", r)
+			}
+			if c.Until > initF[r] {
+				initF[r] = c.Until
+			}
+		}
+	}
+
+	plan := &Plan{Assignments: make(map[int]*Assignment, J), Objective: in.Objective}
+	if J == 0 {
+		return plan, nil
+	}
+	tr := in.tracer()
+	tr.PlanStart(now, J, in.Objective.String())
+	alpha := in.Alpha
+	if alpha < 0 {
+		alpha = in.Cluster.DefaultAlpha()
+	}
+	resp := make([]model.ResponseFunc, J)
+	rj := make([]int, J)
+	for i, j := range in.Jobs {
+		if err := j.Validate(); err != nil {
+			return nil, err
+		}
+		if j.Arrival < now {
+			j.Arrival = now
+		}
+		resp[i] = in.Cluster.Response(j, alpha)
+		// Keyed map reads are deterministic; only range order is not.
+		w := widths[j.ID]
+		if w < 1 {
+			w = 1
+		}
+		if w > R {
+			w = R
+		}
+		rj[i] = w
+	}
+
+	sched := newScheduler(in, resp)
+	sched.initF = initF
+	final := sched.run(rj)
+	order := make([]int, J)
+	copy(order, final.order)
+	for rank, idx := range order {
+		j := in.Jobs[idx]
+		plan.Assignments[j.ID] = &Assignment{
+			JobID:      j.ID,
+			Racks:      append([]int(nil), final.racks[idx]...),
+			Start:      final.start[idx],
+			Priority:   rank,
+			EstLatency: resp[idx].At(rj[idx]),
+		}
+	}
+	plan.Makespan = final.makespan
+	plan.AvgCompletion = final.avgCompletion
+	traceAssignments(tr, now, plan)
+	return plan, nil
+}
+
 // MergePlans overlays a replan onto an existing plan: assignments for jobs
 // in next replace (or add to) those in prev; jobs only in prev are kept.
 // Priorities are renumbered by planned start so the cluster scheduler sees

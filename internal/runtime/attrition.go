@@ -191,6 +191,7 @@ func (rt *runtime) failJob(je *jobExec, reason string) {
 	rt.abortJobAttempts(je)
 	rt.probe(invariants.JobFail, -1, je.job.ID)
 	rt.tr.JobFail(float64(rt.sim.Now()), je.job.ID, reason)
+	rt.onJobTerminal(je)
 	rt.requestDispatch()
 }
 

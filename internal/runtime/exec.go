@@ -648,6 +648,7 @@ func (rt *runtime) finishStage(st *stageExec) {
 		rt.active--
 		rt.probe(invariants.JobDone, -1, je.job.ID)
 		rt.tr.JobDone(float64(rt.sim.Now()), je.job.ID)
+		rt.onJobTerminal(je)
 		rt.requestDispatch()
 		return
 	}

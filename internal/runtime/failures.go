@@ -322,7 +322,7 @@ func (rt *runtime) failMachine(m int) {
 		}
 	}
 	if replanNeeded && rt.opts.ReplanOnFailure {
-		rt.replanOnFailure()
+		rt.requestReplan()
 	}
 	rt.requestDispatch()
 }
@@ -353,7 +353,7 @@ func (rt *runtime) applyLinkFault(lf LinkFault) {
 			}
 		}
 		if replanNeeded && rt.opts.ReplanOnFailure {
-			rt.replanOnFailure()
+			rt.requestReplan()
 		}
 	}
 	rt.requestDispatch()

@@ -20,6 +20,8 @@ import (
 	"math"
 	"sort"
 
+	"corral/internal/des"
+	"corral/internal/invariants"
 	"corral/internal/model"
 	"corral/internal/planner"
 )
@@ -78,16 +80,85 @@ func (rt *runtime) replanOnFailure() {
 	if len(in.Jobs) == 0 {
 		return
 	}
-	rt.replans++
-	rt.tr.Replan(now, len(in.Jobs))
 	in.Trace = rt.tr
 	in.TraceTime = now
-	next, err := planner.Replan(in, now, commitments)
-	if err != nil {
-		return // constraint-drop fallback already applied
+
+	budget := rt.opts.PlannerBudget
+	if budget <= 0 {
+		// Legacy behavior: the full replan is instantaneous and free.
+		rt.replans++
+		rt.tr.Replan(now, len(in.Jobs))
+		rt.probe(invariants.Replan, -1, -1)
+		next, err := planner.Replan(in, now, commitments)
+		if err != nil {
+			return // constraint-drop fallback already applied
+		}
+		rt.adoptReplan(replanJobs, next)
+		return
 	}
+
+	// Budgeted planning: charge the deterministic cost model and walk the
+	// fallback chain — full plan → incremental replan → greedy placement —
+	// until a tier fits the budget. Planner-invoking tiers compute their
+	// plan against the state at now+cost (that is when it lands) and adopt
+	// it then; cluster conditions may shift meanwhile, so adoptReplan
+	// re-validates every rack set at adoption time.
+	J, R := len(in.Jobs), rt.cluster.Config.Racks
+	S := 0
+	for _, j := range in.Jobs {
+		S += len(j.Stages)
+	}
+	if cost := planner.CostFull(J, R, S); cost <= budget {
+		rt.degradations.Full++
+		rt.replans++
+		rt.tr.Replan(now, J)
+		rt.probe(invariants.Replan, -1, -1)
+		next, err := planner.Replan(in, now+cost, commitments)
+		if err != nil {
+			return
+		}
+		rt.sim.After(des.Time(cost), func() { rt.adoptReplan(replanJobs, next) })
+		return
+	} else {
+		rt.tr.PlanBudgetExceeded(now, cost)
+	}
+	if cost := planner.CostIncremental(J, R, S); cost <= budget {
+		rt.degradations.Incremental++
+		rt.replans++
+		rt.tr.Replan(now, J)
+		rt.probe(invariants.Replan, -1, -1)
+		rt.tr.Degrade(now, 1, J)
+		widths := make(map[int]int, len(replanJobs))
+		for _, je := range replanJobs {
+			if je.assignment != nil {
+				widths[je.job.ID] = len(je.assignment.Racks)
+			}
+		}
+		next, err := planner.ReplanIncremental(in, now+cost, commitments, widths)
+		if err != nil {
+			return
+		}
+		rt.sim.After(des.Time(cost), func() { rt.adoptReplan(replanJobs, next) })
+		return
+	}
+	// Greedy tier: no planner invocation at all. The triggering fault
+	// already dropped the affected jobs' constraints, so they dispatch
+	// unconstrained — exactly the Yarn-CS placement discipline.
+	rt.degradations.Greedy++
+	rt.tr.Degrade(now, 2, J)
+}
+
+// adoptReplan installs a replan's fresh assignments for the jobs whose
+// constraints the triggering fault dropped. Jobs that finished, failed or
+// regained constraints while the plan was being computed are skipped, as
+// are rack sets no longer usable at adoption time (the constraint-drop
+// fallback then stands).
+func (rt *runtime) adoptReplan(replanJobs []*jobExec, next *planner.Plan) {
 	changed := false
 	for _, je := range replanJobs {
+		if je.done() || je.allowedRacks != nil {
+			continue
+		}
 		a := next.Assignments[je.job.ID]
 		if a == nil || len(a.Racks) == 0 || !rt.racksUsable(a.Racks) {
 			continue // stay unconstrained rather than adopt unusable racks

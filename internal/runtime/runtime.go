@@ -200,6 +200,38 @@ type Options struct {
 	// next-closest clean replica, and hand the bad replica to the
 	// re-replication daemon (counted in Result.RepairBytes).
 	Corruptions []Corruption
+
+	// PlannerBudget is the per-decision planning deadline in simulated
+	// seconds. When > 0, every failure-triggered replan is charged its
+	// deterministic cost (planner.CostFull / CostIncremental — a pure
+	// function of jobs × racks × stages, never the wall clock) and its
+	// assignments only take effect at t + cost. A decision whose full-plan
+	// cost exceeds the budget degrades down the fallback chain: full plan →
+	// commitments-only incremental replan → greedy Yarn-CS placement
+	// (constraints stay dropped, §3.1's fallback). Each tier is traced and
+	// counted in Result.Degradations. Zero keeps the legacy behavior:
+	// planning is instantaneous and free.
+	PlannerBudget float64
+	// ReplanWindow enables replan-storm suppression: fault bursts within a
+	// debounce window of this many simulated seconds are coalesced, with
+	// at most MaxReplansPerWindow immediate replans per window and an
+	// exponential cooldown (window length doubles, capped at 8×, while
+	// bursts keep saturating it). Excess requests collapse into a single
+	// pending replan at the window's end. Zero disables suppression.
+	ReplanWindow float64
+	// MaxReplansPerWindow caps immediate replans per suppression window
+	// (default 1 when ReplanWindow > 0; meaningless without it).
+	MaxReplansPerWindow int
+	// AdmissionLimit enables streaming-arrival admission control: at most
+	// this many admitted jobs may be in flight at once. Excess arrivals
+	// wait in a bounded FIFO admission queue (Result.Deferred) and are
+	// submitted as running jobs reach a terminal state; arrivals beyond
+	// AdmissionQueueCap are deterministically shed (Result.Shed). Zero
+	// disables admission control: every arrival submits immediately.
+	AdmissionLimit int
+	// AdmissionQueueCap bounds the admission queue (default 4×
+	// AdmissionLimit; requires AdmissionLimit > 0).
+	AdmissionQueueCap int
 	// Probe, if set, receives runtime lifecycle events for invariant
 	// monitoring (see internal/invariants). It runs inside the simulation;
 	// it must be deterministic and must not call back into the runtime.
@@ -268,6 +300,28 @@ type Result struct {
 	// FailedJobs counts jobs that ended in terminal failure rather than
 	// completion (attempt budgets exhausted under attrition).
 	FailedJobs int
+	// Degradations counts replan decisions by fallback tier (only budgeted
+	// runs, PlannerBudget > 0, populate it).
+	Degradations Degradations
+	// ReplansSuppressed counts replan requests absorbed by the
+	// storm-suppression debounce window.
+	ReplansSuppressed int
+	// Deferred counts arrivals parked in the admission queue; Shed counts
+	// arrivals rejected at queue capacity (terminal, not in FailedJobs);
+	// MaxAdmissionQueue is the peak queue depth observed.
+	Deferred          int
+	Shed              int
+	MaxAdmissionQueue int
+}
+
+// Degradations breaks replan decisions down by fallback-chain tier: Full
+// plans that fit the budget, commitments-only Incremental replans, and
+// Greedy decisions (no planner call; affected jobs run with constraints
+// dropped, the Yarn-CS placement).
+type Degradations struct {
+	Full        int
+	Incremental int
+	Greedy      int
 }
 
 // AvgCompletionTime returns the mean of per-job completion times.
@@ -330,6 +384,21 @@ type runtime struct {
 	repairList     []*repairOp // append-ordered, for deterministic iteration
 	repairBytes    float64
 	replans        int
+
+	// Overload-hardening state (overload.go). replanCooldown stays 0 (an
+	// effective factor of 1) until suppression first escalates, so legacy
+	// runs — and pre-PR-8 snapshots of them — carry all-zero values here.
+	degradations      Degradations
+	replansSuppressed int
+	replanWindowEnd   float64
+	replansInWindow   int
+	replanCooldown    int
+	replanPending     bool
+	admissionQueue    []*jobExec
+	admitted          int
+	deferred          int
+	shed              int
+	maxAdmissionQ     int
 
 	jobs     []*jobExec
 	byOrder  []*jobExec // dispatch order per policy
@@ -412,6 +481,17 @@ func newRuntime(opts Options, jobs []*job.Job) (*runtime, error) {
 	}
 	if err := validateAttrition(opts, cluster.Config.Machines()); err != nil {
 		return nil, err
+	}
+	if err := validateOverload(opts); err != nil {
+		return nil, err
+	}
+	// Resolve overload defaults before buildSpec records the options, so a
+	// resumed run re-applies them idempotently (like Heartbeat above).
+	if opts.ReplanWindow > 0 && opts.MaxReplansPerWindow <= 0 {
+		opts.MaxReplansPerWindow = 1
+	}
+	if opts.AdmissionLimit > 0 && opts.AdmissionQueueCap <= 0 {
+		opts.AdmissionQueueCap = 4 * opts.AdmissionLimit
 	}
 	if opts.RemoteStorageInput {
 		if _, ok := cluster.StorageLink(); !ok {
@@ -632,7 +712,7 @@ func (rt *runtime) start() {
 	rt.active = len(rt.jobs)
 	for _, je := range rt.jobs {
 		je := je
-		rt.sim.At(des.Time(je.job.Arrival), func() { rt.submit(je) })
+		rt.sim.At(des.Time(je.job.Arrival), func() { rt.arrive(je) })
 	}
 	for _, f := range rt.opts.Failures {
 		f := f
@@ -673,6 +753,12 @@ func (rt *runtime) finish() (*Result, error) {
 		RepairBytes:    rt.repairBytes,
 		Replans:        rt.replans,
 		FailedJobs:     rt.failedJobs,
+
+		Degradations:      rt.degradations,
+		ReplansSuppressed: rt.replansSuppressed,
+		Deferred:          rt.deferred,
+		Shed:              rt.shed,
+		MaxAdmissionQueue: rt.maxAdmissionQ,
 	}
 	for _, je := range rt.jobs {
 		if je.completion < 0 {

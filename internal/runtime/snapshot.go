@@ -255,6 +255,12 @@ func (rt *runtime) buildSpec() (snapshot.Spec, error) {
 		MaxAMAttempts:        o.MaxAMAttempts,
 		AMRestartDelay:       o.AMRestartDelay,
 
+		PlannerBudget:       o.PlannerBudget,
+		ReplanWindow:        o.ReplanWindow,
+		MaxReplansPerWindow: o.MaxReplansPerWindow,
+		AdmissionLimit:      o.AdmissionLimit,
+		AdmissionQueueCap:   o.AdmissionQueueCap,
+
 		FailedMachines: append([]int(nil), o.FailedMachines...),
 	}
 	for _, je := range rt.jobs {
@@ -329,6 +335,12 @@ func optionsFromSpec(spec *snapshot.Spec) (Options, []*job.Job, error) {
 		BlacklistCooldown:    spec.BlacklistCooldown,
 		MaxAMAttempts:        spec.MaxAMAttempts,
 		AMRestartDelay:       spec.AMRestartDelay,
+
+		PlannerBudget:       spec.PlannerBudget,
+		ReplanWindow:        spec.ReplanWindow,
+		MaxReplansPerWindow: spec.MaxReplansPerWindow,
+		AdmissionLimit:      spec.AdmissionLimit,
+		AdmissionQueueCap:   spec.AdmissionQueueCap,
 
 		FailedMachines: append([]int(nil), spec.FailedMachines...),
 	}
@@ -410,6 +422,21 @@ func (rt *runtime) captureState() *snapshot.State {
 	r.HaveAdhoc = rt.haveAdhoc
 	r.HavePlanned = rt.havePlanned
 	r.LastRepairDone = rt.lastRepairDone
+	r.ReplansSuppressed = rt.replansSuppressed
+	r.DegradedFull = rt.degradations.Full
+	r.DegradedIncremental = rt.degradations.Incremental
+	r.DegradedGreedy = rt.degradations.Greedy
+	r.ReplanWindowEnd = rt.replanWindowEnd
+	r.ReplansInWindow = rt.replansInWindow
+	r.ReplanCooldown = rt.replanCooldown
+	r.ReplanPending = rt.replanPending
+	r.Admitted = rt.admitted
+	r.Deferred = rt.deferred
+	r.Shed = rt.shed
+	r.MaxAdmissionQueue = rt.maxAdmissionQ
+	for _, je := range rt.admissionQueue {
+		r.AdmissionQueue = append(r.AdmissionQueue, je.job.ID)
+	}
 	for _, op := range rt.repairList {
 		r.Repairs = append(r.Repairs, snapshot.RepairState{
 			Src: op.rep.Src, Dst: op.rep.Dst, Slot: op.rep.Slot,

@@ -124,6 +124,16 @@ type Spec struct {
 	MaxAMAttempts        int
 	AMRestartDelay       float64
 
+	// Overload hardening (PR 8, additive): budgeted planning, replan-storm
+	// suppression and admission control. Pre-PR-8 snapshots decode these to
+	// zero — exactly the values that disable all three features — so old
+	// snapshots restore with unchanged semantics.
+	PlannerBudget       float64
+	ReplanWindow        float64
+	MaxReplansPerWindow int
+	AdmissionLimit      int
+	AdmissionQueueCap   int
+
 	FailedMachines []int
 	Failures       []Failure
 	LinkFaults     []LinkFault
@@ -186,9 +196,28 @@ type RuntimeState struct {
 	HaveAdhoc       bool
 	HavePlanned     bool
 	LastRepairDone  float64
-	Repairs         []RepairState
-	Jobs            []JobState
-	Running         []AttemptState
+	// Overload-hardening state (PR 8, additive). Legacy runs never touch
+	// any of it, so pre-PR-8 snapshots' zero values audit clean on restore:
+	// ReplanCooldown in particular stores 0 for the baseline factor of 1
+	// and only escalates when suppression is enabled.
+	ReplansSuppressed   int
+	DegradedFull        int
+	DegradedIncremental int
+	DegradedGreedy      int
+	ReplanWindowEnd     float64
+	ReplansInWindow     int
+	ReplanCooldown      int
+	ReplanPending       bool
+	Admitted            int
+	Deferred            int
+	Shed                int
+	MaxAdmissionQueue   int
+	// AdmissionQueue holds the job IDs parked in the admission queue, in
+	// FIFO order.
+	AdmissionQueue []int
+	Repairs        []RepairState
+	Jobs           []JobState
+	Running        []AttemptState
 }
 
 // RepairState is one re-replication operation, in daemon start order. The

@@ -13,6 +13,7 @@ import (
 	"strings"
 	"testing"
 
+	"corral/internal/invariants"
 	"corral/internal/job"
 	"corral/internal/runtime"
 	"corral/internal/snapshot"
@@ -107,6 +108,43 @@ func TestGoldenFile(t *testing.T) {
 	}
 	if _, err := snapshot.Decode(want); err != nil {
 		t.Fatalf("committed golden file does not decode: %v", err)
+	}
+}
+
+// TestPreOverloadSnapshotRestores pins backward compatibility of the PR 8
+// additive schema change: testdata/pre_overload_v1.snap.json is a byte
+// copy of the golden file as written *before* the overload-hardening
+// fields (PlannerBudget, admission queue, suppression state) existed. It
+// must still decode — the strict decoder treats missing fields as zero
+// values, which are exactly the feature-off defaults — and must still
+// resume to a clean, completed run whose replayed state audits against
+// the captured (all-zero overload state) section.
+func TestPreOverloadSnapshotRestores(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("testdata", "pre_overload_v1.snap.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := snapshot.Decode(raw)
+	if err != nil {
+		t.Fatalf("pre-PR-8 snapshot no longer decodes: %v", err)
+	}
+	if snap.Spec.PlannerBudget != 0 || snap.Spec.AdmissionLimit != 0 || snap.Spec.ReplanWindow != 0 {
+		t.Fatalf("pre-PR-8 spec decoded non-zero overload fields: %+v", snap.Spec)
+	}
+	topo := snap.Spec.Topology
+	mon := invariants.NewMonitor(topo.Machines(), topo.SlotsPerMachine)
+	res, err := runtime.Resume(snap, runtime.ResumeOptions{Probe: mon})
+	if err != nil {
+		t.Fatalf("pre-PR-8 snapshot no longer resumes: %v", err)
+	}
+	if n := mon.ViolationCount(); n != 0 {
+		t.Fatalf("resumed pre-PR-8 run raised %d violations: %v", n, mon.Violations())
+	}
+	if len(res.Jobs) != 1 || res.Jobs[0].Failed {
+		t.Fatalf("resumed pre-PR-8 run did not complete its job: %+v", res.Jobs)
+	}
+	if res.Deferred != 0 || res.Shed != 0 || res.ReplansSuppressed != 0 || res.Degradations != (runtime.Degradations{}) {
+		t.Fatalf("resumed pre-PR-8 run reported overload activity: %+v", res)
 	}
 }
 

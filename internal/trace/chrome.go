@@ -310,6 +310,20 @@ func writeChromeRun(cw *chromeWriter, pid int, run runBlob) {
 			cw.instant(pid, e.T, "plan j"+string(appendInt(nil, int64(e.Job)))+" → "+e.Detail)
 		case KPlanDone:
 			cw.instant(pid, e.T, "plan done")
+		case KPlanBudgetExceeded:
+			cw.instant(pid, e.T, "plan budget exceeded (cost "+string(appendFloat(nil, e.Value))+"s)")
+		case KDegrade:
+			tier := "incremental"
+			if e.Att == 2 {
+				tier = "greedy"
+			}
+			cw.instant(pid, e.T, "degrade → "+tier+" ("+string(appendInt(nil, int64(e.Value)))+" jobs)")
+		case KReplanSuppressed:
+			cw.instant(pid, e.T, "replan suppressed (fires t="+string(appendFloat(nil, e.Value))+")")
+		case KJobDeferred:
+			cw.instant(pid, e.T, "defer j"+string(appendInt(nil, int64(e.Job)))+" (queue "+string(appendInt(nil, int64(e.Value)))+")")
+		case KJobShed:
+			cw.instant(pid, e.T, "shed j"+string(appendInt(nil, int64(e.Job)))+" (queue "+string(appendInt(nil, int64(e.Value)))+")")
 		}
 		if cw.err != nil {
 			return

@@ -68,6 +68,12 @@ var kindFields = [numKinds]uint16{
 	KPlanStart:    fValue | fDetail,
 	KPlanAssign:   fJob | fAtt | fValue | fDetail,
 	KPlanDone:     fValue,
+
+	KPlanBudgetExceeded: fValue,
+	KDegrade:            fAtt | fValue,
+	KReplanSuppressed:   fValue,
+	KJobDeferred:        fJob | fValue,
+	KJobShed:            fJob | fValue,
 }
 
 func appendInt(b []byte, v int64) []byte { return strconv.AppendInt(b, v, 10) }

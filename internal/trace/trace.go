@@ -75,6 +75,14 @@ const (
 	KPlanAssign // job, attempt=priority, value=planned start, detail=rack set
 	KPlanDone   // value=objective value
 
+	// Overload hardening: budgeted planning, replan-storm suppression and
+	// streaming-arrival admission control.
+	KPlanBudgetExceeded // value=estimated full-plan cost exceeding the budget
+	KDegrade            // attempt=fallback tier (1=incremental, 2=greedy), value=jobs affected
+	KReplanSuppressed   // value=coalesced fire time of the pending replan
+	KJobDeferred        // job, value=admission queue depth after the deferral
+	KJobShed            // job, value=admission queue depth at the shed
+
 	numKinds
 )
 
@@ -114,6 +122,12 @@ var kindNames = [numKinds]string{
 	KPlanStart:    "plan_start",
 	KPlanAssign:   "plan_assign",
 	KPlanDone:     "plan_done",
+
+	KPlanBudgetExceeded: "plan_budget_exceeded",
+	KDegrade:            "degrade",
+	KReplanSuppressed:   "replan_suppressed",
+	KJobDeferred:        "job_deferred",
+	KJobShed:            "job_shed",
 }
 
 func (k Kind) String() string {
@@ -634,6 +648,72 @@ func (t *Tracer) PlanDone(now float64, objective float64) {
 	}
 	e := unsetEvent(now, KPlanDone)
 	e.Value = objective
+	t.events = append(t.events, e)
+}
+
+// PlanBudgetExceeded records a replan decision whose estimated full-plan
+// cost exceeds Options.PlannerBudget, forcing a fallback tier.
+//
+//corral:hotpath
+func (t *Tracer) PlanBudgetExceeded(now float64, cost float64) {
+	if t == nil {
+		return
+	}
+	e := unsetEvent(now, KPlanBudgetExceeded)
+	e.Value = cost
+	t.events = append(t.events, e)
+}
+
+// Degrade records a fallback-chain step: tier 1 is the commitments-only
+// incremental replan, tier 2 the greedy Yarn-CS placement; jobs is the
+// number of pending jobs affected.
+//
+//corral:hotpath
+func (t *Tracer) Degrade(now float64, tier, jobs int) {
+	if t == nil {
+		return
+	}
+	e := unsetEvent(now, KDegrade)
+	e.Att, e.Value = tier, float64(jobs)
+	t.events = append(t.events, e)
+}
+
+// ReplanSuppressed records a replan request absorbed by the storm
+// debounce window; fireAt is when the coalesced replan will run.
+//
+//corral:hotpath
+func (t *Tracer) ReplanSuppressed(now float64, fireAt float64) {
+	if t == nil {
+		return
+	}
+	e := unsetEvent(now, KReplanSuppressed)
+	e.Value = fireAt
+	t.events = append(t.events, e)
+}
+
+// JobDeferred records an arrival parked in the admission queue; depth is
+// the queue depth including this job.
+//
+//corral:hotpath
+func (t *Tracer) JobDeferred(now float64, job, depth int) {
+	if t == nil {
+		return
+	}
+	e := unsetEvent(now, KJobDeferred)
+	e.Job, e.Value = job, float64(depth)
+	t.events = append(t.events, e)
+}
+
+// JobShed records an arrival rejected because the admission queue is at
+// capacity; depth is the (full) queue depth at the shed.
+//
+//corral:hotpath
+func (t *Tracer) JobShed(now float64, job, depth int) {
+	if t == nil {
+		return
+	}
+	e := unsetEvent(now, KJobShed)
+	e.Job, e.Value = job, float64(depth)
 	t.events = append(t.events, e)
 }
 

@@ -5,13 +5,14 @@
 GO ?= go
 
 .PHONY: check ci-local fast-gate build vet fmt-check test race corralvet \
-	chaos fuzz overload trace-determinism resume-determinism bench bench-compare
+	chaos fuzz overload trace-determinism resume-determinism bench bench-compare \
+	scale scale-bench-compare scale-nightly
 
 check: build vet fmt-check test race chaos fuzz overload trace-determinism resume-determinism
 	@echo "check: all gates passed"
 
 # One target per CI job, in the workflow's job order.
-ci-local: fast-gate test trace-determinism resume-determinism race chaos fuzz overload bench-compare
+ci-local: fast-gate test trace-determinism resume-determinism race chaos fuzz overload bench-compare scale scale-bench-compare
 	@echo "ci-local: all CI jobs passed"
 
 fast-gate: build vet fmt-check
@@ -90,6 +91,32 @@ resume-determinism:
 trace-determinism:
 	$(GO) test ./internal/experiments -run 'TestTrace|TestTracing' -count=1 -v
 	$(GO) test ./internal/trace -count=1
+
+# Datacenter-scale gate: the 2k + 5k cells of the scale suite with full
+# verification (same-seed determinism rerun + mid-flight snapshot/resume
+# at every cell). corralsim exits non-zero on any verification failure;
+# the JSON report lands in scale-report.json (uploaded as a CI artifact
+# even on red).
+scale:
+	$(GO) run ./cmd/corralsim -exp scale -size m -seed 1 -json > scale-report.json
+
+# Scale benchmark comparison: only the recompute micro-benchmarks and the
+# end-to-end scale sweep, diffed against the full committed baseline in
+# -subset mode (baseline-only entries are skipped, semantic drift and new
+# benchmarks still fail). `make bench` remains the only producer of
+# BENCH_baseline.json.
+scale-bench-compare:
+	$(GO) test -run '^$$' -bench 'BenchmarkScaleSweep' -benchtime 1x . \
+		| $(GO) run ./cmd/corralbench -o scale-fresh.json -compare BENCH_baseline.json -tol 50 -subset
+	$(GO) test -run '^$$' -bench 'BenchmarkRecompute' -benchtime 1x ./internal/netsim \
+		| $(GO) run ./cmd/corralbench -compare BENCH_baseline.json -tol 50 -subset
+
+# Nightly ladder: the full 2k/5k/10k sweep (minutes of wall time) plus
+# extended fuzz and resume sweeps; see .github/workflows/nightly.yml.
+scale-nightly:
+	$(GO) run ./cmd/corralsim -exp scale -size l -seed 1 -json > scale-report.json
+	$(GO) run ./cmd/corralsim -fuzz-traces 100 -size s -seed 1
+	$(GO) test ./internal/experiments -run 'TestResume' -count=1
 
 # Perf baseline: every benchmark once on the fast "s" profile — the
 # experiment harness in the repo root, the netsim allocator

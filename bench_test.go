@@ -371,3 +371,14 @@ func BenchmarkSnapshotResume(b *testing.B) {
 	}
 	b.ReportMetric(res.Makespan, "makespan_s")
 }
+
+// BenchmarkScaleSweep runs the datacenter-scale fast-path suite end to end
+// (size s: the 2000-machine cell with its determinism and snapshot/resume
+// verification) and republishes its semantic outcomes. The wallclock_* keys
+// are deliberately not republished: corralbench -compare gates on semantic
+// metrics only, and host timing lives in the ns/op column.
+func BenchmarkScaleSweep(b *testing.B) {
+	benchExperiment(b, "scale",
+		"machines_2000_events", "machines_2000_makespan", "machines_2000_jobs",
+		"cells", "verification_failures")
+}

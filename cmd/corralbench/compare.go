@@ -35,6 +35,7 @@ type driftReport struct {
 	Failures []string
 	Warnings []string
 	Compared int // benchmarks matched on both sides
+	Skipped  int // baseline-only benchmarks skipped in subset mode
 }
 
 func (r *driftReport) failf(format string, args ...any) {
@@ -91,8 +92,13 @@ func displayName(bm *Benchmark) string {
 	return bm.Name
 }
 
-// compareBaselines diffs a fresh run against the committed baseline.
-func compareBaselines(old, fresh *Baseline, tolPct float64) *driftReport {
+// compareBaselines diffs a fresh run against the committed baseline. With
+// subset, benchmarks present only in the baseline are skipped rather than
+// failed — the mode for CI jobs that run a single package's benchmarks
+// against the repository-wide baseline. Fresh benchmarks absent from the
+// baseline still fail either way: a new benchmark must land together with
+// a `make bench` refresh.
+func compareBaselines(old, fresh *Baseline, tolPct float64, subset bool) *driftReport {
 	rep := &driftReport{}
 	usePkg := hasPerBenchPkg(old) && hasPerBenchPkg(fresh)
 	oldBy, freshBy := keyed(old, usePkg), keyed(fresh, usePkg)
@@ -106,6 +112,10 @@ func compareBaselines(old, fresh *Baseline, tolPct float64) *driftReport {
 		ob := oldBy[k]
 		fb, ok := freshBy[k]
 		if !ok {
+			if subset {
+				rep.Skipped++
+				continue
+			}
 			rep.failf("benchmark %s is in the baseline but missing from this run", displayName(ob))
 			continue
 		}

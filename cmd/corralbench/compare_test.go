@@ -54,7 +54,7 @@ func TestCompareIdenticalBaselines(t *testing.T) {
 			bench("corral/internal/netsim", "Recompute", map[string]float64{"ns/op": 700, "allocs/op": 0}),
 		}}
 	}
-	rep := compareBaselines(mk(), mk(), 10)
+	rep := compareBaselines(mk(), mk(), 10, false)
 	if len(rep.Failures) != 0 || len(rep.Warnings) != 0 {
 		t.Fatalf("identical baselines: failures=%v warnings=%v", rep.Failures, rep.Warnings)
 	}
@@ -70,7 +70,7 @@ func TestCompareSemanticDriftFails(t *testing.T) {
 	fresh := &Baseline{Benchmarks: []Benchmark{
 		bench("corral", "Fig6", map[string]float64{"makespan_reduction_pct": math.Nextafter(12.3, 13)}),
 	}}
-	rep := compareBaselines(old, fresh, 10)
+	rep := compareBaselines(old, fresh, 10, false)
 	if len(rep.Failures) != 1 {
 		t.Fatalf("ulp-level semantic drift: failures = %v, want exactly 1", rep.Failures)
 	}
@@ -86,7 +86,7 @@ func TestCompareTimingDriftIsAdvisory(t *testing.T) {
 	fresh := &Baseline{Benchmarks: []Benchmark{
 		bench("corral", "Fig6", map[string]float64{"ns/op": 300, "B/op": 52}),
 	}}
-	rep := compareBaselines(old, fresh, 25)
+	rep := compareBaselines(old, fresh, 25, false)
 	if len(rep.Failures) != 0 {
 		t.Fatalf("timing drift must never fail: %v", rep.Failures)
 	}
@@ -105,7 +105,7 @@ func TestCompareMissingAndExtraBenchmarksFail(t *testing.T) {
 		bench("corral", "Shared", map[string]float64{"ns/op": 1}),
 		bench("corral", "New", map[string]float64{"ns/op": 1}),
 	}}
-	rep := compareBaselines(old, fresh, 10)
+	rep := compareBaselines(old, fresh, 10, false)
 	if len(rep.Failures) != 2 {
 		t.Fatalf("failures = %v, want one missing + one extra", rep.Failures)
 	}
@@ -122,7 +122,7 @@ func TestCompareMissingAndExtraMetricsFail(t *testing.T) {
 	fresh := &Baseline{Benchmarks: []Benchmark{
 		bench("corral", "Fig6", map[string]float64{"new_metric": 1, "ns/op": 5}),
 	}}
-	rep := compareBaselines(old, fresh, 10)
+	rep := compareBaselines(old, fresh, 10, false)
 	if len(rep.Failures) != 2 {
 		t.Fatalf("failures = %v, want one missing + one extra metric", rep.Failures)
 	}
@@ -137,7 +137,7 @@ func TestCompareSameNameDifferentPkgStaysDistinct(t *testing.T) {
 		bench("corral", "X", map[string]float64{"frac": 0.5}),
 		bench("corral/internal/netsim", "X", map[string]float64{"frac": 0.9}),
 	}}
-	rep := compareBaselines(old, fresh, 10)
+	rep := compareBaselines(old, fresh, 10, false)
 	if len(rep.Failures) != 0 || rep.Compared != 2 {
 		t.Fatalf("pkg-qualified keys: failures=%v compared=%d", rep.Failures, rep.Compared)
 	}
@@ -152,7 +152,7 @@ func TestCompareLegacyBaselineWithoutPkgKeysOnName(t *testing.T) {
 	fresh := &Baseline{Benchmarks: []Benchmark{
 		bench("corral", "Fig6", map[string]float64{"frac": 0.5}),
 	}}
-	rep := compareBaselines(old, fresh, 10)
+	rep := compareBaselines(old, fresh, 10, false)
 	if len(rep.Failures) != 0 || rep.Compared != 1 {
 		t.Fatalf("legacy fallback: failures=%v compared=%d", rep.Failures, rep.Compared)
 	}
@@ -170,5 +170,29 @@ func TestDriftPct(t *testing.T) {
 	}
 	if got := driftPct(0, 0); got != 0 {
 		t.Errorf("driftPct(0, 0) = %g, want 0", got)
+	}
+}
+
+func TestCompareSubsetSkipsBaselineOnlyBenchmarks(t *testing.T) {
+	old := &Baseline{Benchmarks: []Benchmark{
+		bench("corral", "Fig6", map[string]float64{"frac": 0.5}),
+		bench("corral/internal/netsim", "RecomputeIncremental10k", map[string]float64{"ns/op": 7}),
+	}}
+	fresh := &Baseline{Benchmarks: []Benchmark{
+		bench("corral/internal/netsim", "RecomputeIncremental10k", map[string]float64{"ns/op": 7}),
+	}}
+	rep := compareBaselines(old, fresh, 10, true)
+	if len(rep.Failures) != 0 || rep.Compared != 1 || rep.Skipped != 1 {
+		t.Fatalf("subset: failures=%v compared=%d skipped=%d", rep.Failures, rep.Compared, rep.Skipped)
+	}
+	// Subset mode still fails on run-only benchmarks: new benchmarks must
+	// land with a baseline refresh.
+	freshExtra := &Baseline{Benchmarks: []Benchmark{
+		bench("corral/internal/netsim", "RecomputeIncremental10k", map[string]float64{"ns/op": 7}),
+		bench("corral/internal/netsim", "BrandNew", map[string]float64{"ns/op": 1}),
+	}}
+	rep = compareBaselines(old, freshExtra, 10, true)
+	if len(rep.Failures) != 1 || !strings.Contains(rep.Failures[0], "BrandNew") {
+		t.Fatalf("subset extra: failures=%v, want one about BrandNew", rep.Failures)
 	}
 }

@@ -35,6 +35,8 @@ func main() {
 		"baseline JSON to diff against; semantic metric drift exits non-zero")
 	tol := flag.Float64("tol", 10,
 		"advisory tolerance (percent) for timing metrics (ns/op, B/op, allocs/op, MB/s) in -compare mode")
+	subset := flag.Bool("subset", false,
+		"in -compare mode, treat the run as a subset of the baseline: benchmarks present only in the baseline are skipped instead of failing (for CI jobs that run one package's benchmarks against the full baseline)")
 	flag.Parse()
 
 	baseline, err := parse(bufio.NewScanner(os.Stdin))
@@ -66,7 +68,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	rep := compareBaselines(old, baseline, *tol)
+	rep := compareBaselines(old, baseline, *tol, *subset)
+	if *subset && rep.Skipped > 0 {
+		fmt.Fprintf(os.Stderr, "corralbench: note: %d baseline-only benchmark(s) skipped (-subset)\n", rep.Skipped)
+	}
 	for _, w := range rep.Warnings {
 		fmt.Fprintln(os.Stderr, "corralbench: warning:", w)
 	}

@@ -40,6 +40,8 @@ func main() {
 			"replan-storm suppression window in simulated seconds for the overload sweep (0 = bundled default)")
 		admissionLimit = flag.Int("admission-limit", 0,
 			"max concurrently admitted jobs for the overload sweep (0 = bundled default)")
+		machinesList = flag.String("machines", "",
+			"comma-separated machine counts for the datacenter-scale suite, e.g. 2000,10000 (implies -exp scale; empty = the size's ladder)")
 		workers = flag.Int("workers", 0,
 			"worker pool bound for parallel experiment sweeps (0 = GOMAXPROCS, 1 = serial; results are identical for any value)")
 		tracePath = flag.String("trace", "",
@@ -58,7 +60,7 @@ func main() {
 		replanWindow:   *replanWindow,
 		admissionLimit: *admissionLimit,
 	}
-	if err := validateFlagCombos(*exp, *snapshotAt, *snapshotOut, *resumePath, ov); err != nil {
+	if err := validateFlagCombos(*exp, *snapshotAt, *snapshotOut, *resumePath, *machinesList, ov); err != nil {
 		fmt.Fprintln(os.Stderr, "corralsim:", err)
 		flag.Usage()
 		os.Exit(2)
@@ -166,6 +168,35 @@ func main() {
 		if report.Values["violations"] != 0 {
 			writeTrace()
 			fatal(fmt.Errorf("%g invariant violations", report.Values["violations"]))
+		}
+		return
+	}
+
+	// The scale suite exits non-zero when a cell's determinism or resume
+	// verification fails — that is the CI gate's red signal.
+	if *machinesList != "" || *exp == "scale" {
+		sz, err := parseSize(*size)
+		if err != nil {
+			fatal(err)
+		}
+		var machines []int
+		if *machinesList != "" {
+			if machines, err = parseInts(*machinesList, "machine count"); err != nil {
+				fatal(err)
+			}
+		}
+		report, err := corral.RunScaleExperiment(sz, *seed, machines)
+		if err != nil {
+			fatal(err)
+		}
+		if *asJSON {
+			emitJSON(map[string]map[string]float64{"scale": report.Values})
+		} else {
+			fmt.Println(report)
+		}
+		if n := report.Values["verification_failures"]; n != 0 {
+			writeTrace()
+			fatal(fmt.Errorf("%g scale cells failed determinism/resume verification", n))
 		}
 		return
 	}
@@ -296,7 +327,21 @@ func (f overloadFlags) knobsSet() bool {
 
 // validateFlagCombos rejects flag combinations with no coherent meaning;
 // the caller prints usage and exits non-zero.
-func validateFlagCombos(exp, snapshotAt, snapshotOut, resume string, ov overloadFlags) error {
+func validateFlagCombos(exp, snapshotAt, snapshotOut, resume, machines string, ov overloadFlags) error {
+	if machines != "" {
+		if exp != "" && exp != "scale" {
+			return fmt.Errorf("-machines implies -exp scale and cannot be combined with -exp %s", exp)
+		}
+		if resume != "" {
+			return fmt.Errorf("-resume cannot be combined with -machines")
+		}
+		if snapshotAt != "" {
+			return fmt.Errorf("-snapshot-at cannot be combined with -machines")
+		}
+		if ov.arrivalRates != "" || ov.knobsSet() {
+			return fmt.Errorf("-machines cannot be combined with overload sweep flags")
+		}
+	}
 	if resume != "" && exp != "" {
 		return fmt.Errorf("-resume cannot be combined with -exp: a resumed run replays its snapshot's own spec")
 	}
@@ -359,6 +404,18 @@ func parseTarget(s string) (corral.CheckpointTarget, error) {
 		}
 		return corral.CheckpointTarget{EventIndex: n}, nil
 	}
+}
+
+func parseInts(s, noun string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad %s %q: want a positive integer", noun, part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 func parseFloats(s, noun string) ([]float64, error) {

@@ -7,10 +7,10 @@ import (
 
 func TestValidateFlagCombos(t *testing.T) {
 	cases := []struct {
-		name                                 string
-		exp, snapshotAt, snapshotOut, resume string
-		ov                                   overloadFlags
-		wantErr                              string
+		name                                           string
+		exp, snapshotAt, snapshotOut, resume, machines string
+		ov                                             overloadFlags
+		wantErr                                        string
 	}{
 		{name: "plain experiment", exp: "fig6"},
 		{name: "snapshot alone", snapshotAt: "ev:100"},
@@ -44,9 +44,22 @@ func TestValidateFlagCombos(t *testing.T) {
 			wantErr: "-resume cannot be combined with overload sweep flags"},
 		{name: "rates with snapshot", snapshotAt: "ev:5", ov: overloadFlags{arrivalRates: "1,4"},
 			wantErr: "-snapshot-at cannot be combined with overload sweep flags"},
+
+		// Scale suite flags.
+		{name: "scale alone", exp: "scale"},
+		{name: "machines implies scale", machines: "2000"},
+		{name: "machines with explicit scale", exp: "scale", machines: "2000,10000"},
+		{name: "machines with other exp", exp: "fig6", machines: "2000",
+			wantErr: "-machines implies -exp scale"},
+		{name: "machines with resume", resume: "s.json", machines: "2000",
+			wantErr: "-resume cannot be combined with -machines"},
+		{name: "machines with snapshot", snapshotAt: "ev:5", machines: "2000",
+			wantErr: "-snapshot-at cannot be combined with -machines"},
+		{name: "machines with rates", machines: "2000", ov: overloadFlags{arrivalRates: "1,4"},
+			wantErr: "-machines cannot be combined with overload sweep flags"},
 	}
 	for _, c := range cases {
-		err := validateFlagCombos(c.exp, c.snapshotAt, c.snapshotOut, c.resume, c.ov)
+		err := validateFlagCombos(c.exp, c.snapshotAt, c.snapshotOut, c.resume, c.machines, c.ov)
 		if c.wantErr == "" {
 			if err != nil {
 				t.Errorf("%s: unexpected error %v", c.name, err)
@@ -55,6 +68,18 @@ func TestValidateFlagCombos(t *testing.T) {
 		}
 		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
 			t.Errorf("%s: err = %v, want %q", c.name, err, c.wantErr)
+		}
+	}
+}
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("2000, 5000,10000", "machine count")
+	if err != nil || len(got) != 3 || got[0] != 2000 || got[1] != 5000 || got[2] != 10000 {
+		t.Errorf("parseInts = %v, %v; want [2000 5000 10000]", got, err)
+	}
+	for _, bad := range []string{"", "abc", "2000,-5", "0", "1.5"} {
+		if _, err := parseInts(bad, "machine count"); err == nil {
+			t.Errorf("parseInts(%q): no error", bad)
 		}
 	}
 }

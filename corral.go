@@ -128,7 +128,7 @@ type FlowPolicy = netsim.Policy
 
 // TCP returns the reference max-min fair sharing policy (the TCP
 // emulation). It is stateless and may be shared across simulations.
-// SimConfig.Network == nil selects TCPGrouped instead, which computes
+// SimConfig.Network == nil selects TCPIncremental instead, which computes
 // bit-identical rates faster.
 func TCP() FlowPolicy { return netsim.MaxMinFair{} }
 
@@ -136,8 +136,17 @@ func TCP() FlowPolicy { return netsim.MaxMinFair{} }
 // TCP, computed over path equivalence classes instead of individual flows
 // (an order of magnitude faster at 10k flows). The returned policy carries
 // reusable scratch state — use a fresh instance per concurrently running
-// simulation. This is the default when SimConfig.Network is nil.
+// simulation.
 func TCPGrouped() FlowPolicy { return netsim.NewGroupedMaxMin() }
+
+// TCPIncremental returns the incremental max-min allocator: bit-identical
+// rates to TCP and TCPGrouped, but on each recompute it re-waterfills only
+// the connected components of the link–flow graph whose membership or
+// capacity changed since the previous allocation, falling back to a full
+// grouped pass when too much of the graph is dirty. The returned policy
+// carries reusable scratch state — use a fresh instance per concurrently
+// running simulation. This is the default when SimConfig.Network is nil.
+func TCPIncremental() FlowPolicy { return netsim.NewIncrementalMaxMin() }
 
 // VarysCoflow returns the Varys-style coflow scheduler (SEBF + MADD with
 // work-conserving backfill), used in the Fig 14 comparison.
@@ -149,8 +158,14 @@ type SimConfig struct {
 	Scheduler Scheduler
 	// Plan is required for SchedulerCorral and SchedulerLocalShuffle.
 	Plan *Plan
-	// Network selects the flow-level policy; nil means TCP (max-min fair).
+	// Network selects the flow-level policy; nil means TCPIncremental
+	// (max-min fair rates, incrementally recomputed).
 	Network FlowPolicy
+	// FlowEpoch > 0 batches flow-rate recomputations to multiples of this
+	// many simulated seconds: flow starts and cancellations within an epoch
+	// share one recompute at the epoch boundary (completions stay exact).
+	// Zero recomputes at every change, the exact legacy behavior.
+	FlowEpoch float64
 	// Seed drives data placement and other randomized choices.
 	Seed int64
 	// FailedMachines are unreachable from time zero (§3.1 failure
@@ -293,6 +308,7 @@ func simOptions(cfg SimConfig) runtime.Options {
 		Scheduler:            cfg.Scheduler,
 		Plan:                 cfg.Plan,
 		Network:              cfg.Network,
+		FlowEpoch:            cfg.FlowEpoch,
 		Seed:                 cfg.Seed,
 		FailedMachines:       cfg.FailedMachines,
 		Failures:             cfg.Failures,
@@ -584,6 +600,17 @@ func RunOverloadExperiment(size ExperimentSize, seed int64, rates []float64) (*E
 // corralsim overload flags). Zero knob values keep the bundled defaults.
 func RunOverloadSweep(p OverloadParams) (*ExperimentReport, error) {
 	return experiments.OverloadSweep(p)
+}
+
+// RunScaleExperiment renders the datacenter-scale fast-path sweep as an
+// ExperimentReport (the corralsim -exp scale / -machines path). Each cell
+// in machines is a synthetic cluster of that many machines (40 per rack)
+// streaming an online W1 window under Corral, reporting wall-clock, heap
+// allocations and events/sec alongside the semantic Result metrics, and
+// re-verifying determinism and snapshot/resume equivalence at that scale.
+// nil machines selects the Size's ladder (s: 2k; m: 2k/5k; l: 2k/5k/10k).
+func RunScaleExperiment(size ExperimentSize, seed int64, machines []int) (*ExperimentReport, error) {
+	return experiments.ScaleWithMachines(experiments.Params{Size: size, Seed: seed}, machines)
 }
 
 // PlannerCostFull returns the simulated latency charged for a full

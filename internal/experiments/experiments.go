@@ -145,6 +145,7 @@ func Registry() []struct {
 		{"attrition", "attrition: task retries + blacklisting under rising crash rates", Attrition},
 		{"fuzz", "corralcheck: randomized fault traces under the invariant monitor", Fuzz},
 		{"resume", "resume: crash-resume equivalence of snapshotted runs", Resume},
+		{"scale", "scale: datacenter-scale fast path (wall-clock, allocs, events/sec at 2k-10k machines)", Scale},
 	}
 }
 

@@ -1,0 +1,356 @@
+package experiments
+
+// Scale: the datacenter-scale fast-path suite (the "scale" registry entry
+// and corralsim -exp scale). Each cell builds a synthetic 2k/5k/10k-machine
+// cluster, streams a long online W1 arrival window through the Corral
+// scheduler, and reports wall-clock, heap allocations and events/sec
+// alongside the usual semantic Result metrics — the numbers the incremental
+// max-min recompute and the allocation-lean event core are gated on.
+//
+// Every cell also re-verifies the repo's two standing contracts at scale:
+//
+//   - Determinism: the cell reruns with the same seed and the full
+//     runtime.Result must be bit-identical (DeepEqual), exactly the
+//     TestBatchDeterminism obligation at 2k-10k machines.
+//   - Snapshot/resume equivalence: the cell is captured mid-flight at half
+//     its event count, round-tripped through the snapshot codec, resumed,
+//     and the resumed Result must again be bit-identical (the PR 7
+//     crash-resume contract).
+//
+// Determinism obligations: all semantic outputs (Result fields, job counts,
+// verification verdicts) are pure functions of ScaleParams. Wall-clock,
+// allocation and events/sec figures are measurements of the host machine
+// and are exported only under "wallclock_"-prefixed report keys, which the
+// determinism tests and CI comparisons exclude by convention (the same
+// split planning.go uses for Fig 5 planner running times).
+
+import (
+	"fmt"
+	"reflect"
+	goruntime "runtime"
+	"time"
+
+	"corral/internal/job"
+	"corral/internal/metrics"
+	"corral/internal/netsim"
+	"corral/internal/planner"
+	"corral/internal/runtime"
+	"corral/internal/snapshot"
+	"corral/internal/topology"
+	"corral/internal/workload"
+)
+
+// scaleMachinesPerRack fixes the rack width of the synthetic clusters (the
+// Fig 5 planner-scaling model uses the same 40-machine racks).
+const scaleMachinesPerRack = 40
+
+// ScaleLadder returns the machine counts the given Size sweeps: the small
+// cell is CI's quick gate, medium adds the 5k cell, and large is the full
+// 2k/5k/10k nightly ladder.
+func ScaleLadder(size Size) []int {
+	switch size {
+	case SizeS:
+		return []int{2000}
+	case SizeL:
+		return []int{2000, 5000, 10000}
+	default:
+		return []int{2000, 5000}
+	}
+}
+
+// ScaleParams configures a scale sweep.
+type ScaleParams struct {
+	Size Size
+	Seed int64
+	// Machines overrides the Size's ladder with explicit cell sizes (the
+	// corralsim -machines flag); nil selects ScaleLadder(Size).
+	Machines []int
+	// Network selects the flow policy by snapshot-spec name ("" = the
+	// default incremental max-min; "maxmin-grouped" = the pre-incremental
+	// full recompute, kept for before/after measurements).
+	Network string
+	// SkipVerify drops the determinism-rerun and snapshot/resume checks,
+	// leaving only the timed run — for pure measurement sweeps.
+	SkipVerify bool
+}
+
+// ScaleCell is one machine count's outcome.
+type ScaleCell struct {
+	Machines int
+	Racks    int
+	Jobs     int
+	Result   *runtime.Result
+
+	// Verification verdicts (true when SkipVerify is set: nothing failed).
+	DeterminismOK bool
+	ResumeOK      bool
+	Detail        string // first divergence when a verdict is false
+
+	// Host measurements — excluded from determinism comparisons.
+	PlanSeconds  float64
+	WallSeconds  float64
+	EventsPerSec float64
+	AllocObjects float64 // heap objects allocated during the timed run
+	AllocMB      float64 // heap bytes allocated during the timed run, MB
+}
+
+// ScaleReport is the sweep outcome.
+type ScaleReport struct {
+	Cells []ScaleCell
+}
+
+// Failures returns the cells whose determinism or resume check failed.
+func (r *ScaleReport) Failures() []string {
+	var out []string
+	for _, c := range r.Cells {
+		if !c.DeterminismOK || !c.ResumeOK {
+			out = append(out, fmt.Sprintf("%d machines: %s", c.Machines, c.Detail))
+		}
+	}
+	return out
+}
+
+// scaleTopo builds the synthetic cluster for one cell: machines/40 racks of
+// 40 machines, 2 slots each, 10 Gbps NICs at 5:1 oversubscription.
+func scaleTopo(machines int) topology.Config {
+	racks := machines / scaleMachinesPerRack
+	if racks < 1 {
+		racks = 1
+	}
+	return topology.Config{
+		Racks:            racks,
+		MachinesPerRack:  scaleMachinesPerRack,
+		SlotsPerMachine:  2,
+		NICBandwidth:     10 * gbps,
+		Oversubscription: 5,
+	}
+}
+
+// scaleWorkload generates the cell's online W1 stream. The job count grows
+// sublinearly past the 2k cell (160 + machines/50: 200 jobs at 2k, 360 at
+// 10k): the offline planner's provisioning phase is superlinear in
+// jobs × racks, and the suite measures the *simulator's* scaling — racks,
+// machines, concurrent flows — not the planner's, which Fig 5 already
+// covers. Bytes and task counts are scaled down so cells complete in CI
+// time while keeping thousands of concurrent flows in the air.
+func scaleWorkload(machines int, seed int64) []*job.Job {
+	return workload.W1(workload.Config{
+		Seed:          seed,
+		Jobs:          160 + machines/50,
+		Scale:         1.0 / 8,
+		TaskScale:     1.0 / 8,
+		ArrivalWindow: float64(machines) / 20,
+	})
+}
+
+// scalePolicy resolves ScaleParams.Network to a fresh policy instance per
+// run (allocator scratch state must never be shared across concurrent
+// runs). "" returns nil: the runtime's own default.
+func scalePolicy(name string) (netsim.Policy, error) {
+	switch name {
+	case "":
+		return nil, nil
+	case "maxmin-incremental":
+		return netsim.NewIncrementalMaxMin(), nil
+	case "maxmin-grouped":
+		return netsim.NewGroupedMaxMin(), nil
+	case "maxmin":
+		return netsim.MaxMinFair{}, nil
+	}
+	return nil, fmt.Errorf("scale: unknown network policy %q", name)
+}
+
+// runScaleCell measures one cell and runs its verification passes.
+func runScaleCell(p ScaleParams, machines int) (ScaleCell, error) {
+	cell := ScaleCell{Machines: machines}
+	topo := scaleTopo(machines)
+	cell.Racks = topo.Racks
+	jobs := scaleWorkload(machines, p.Seed)
+	cell.Jobs = len(jobs)
+
+	planStart := time.Now() //corralvet:ok wallclock the scale suite measures the planner's real running time per cell
+	plan, err := planJobs(topo, jobs, planner.MinimizeAvgCompletion)
+	if err != nil {
+		return cell, fmt.Errorf("scale %d machines: plan: %w", machines, err)
+	}
+	cell.PlanSeconds = time.Since(planStart).Seconds() //corralvet:ok wallclock the scale suite measures the planner's real running time per cell
+
+	opts := func() (runtime.Options, error) {
+		pol, err := scalePolicy(p.Network)
+		if err != nil {
+			return runtime.Options{}, err
+		}
+		return runtime.Options{
+			Topology:  topo,
+			Scheduler: runtime.Corral,
+			Plan:      plan,
+			Network:   pol,
+			Seed:      p.Seed,
+		}, nil
+	}
+
+	// Timed run: the measurement the CI scale gate and CHANGES.md
+	// before/after numbers come from. MemStats deltas count every heap
+	// allocation the run makes (the alloc-lean event core's target).
+	o, err := opts()
+	if err != nil {
+		return cell, err
+	}
+	var before, after goruntime.MemStats
+	goruntime.ReadMemStats(&before)
+	start := time.Now() //corralvet:ok wallclock the scale suite measures simulator throughput (wall-clock, events/sec)
+	res, err := runtime.Run(o, workload.Clone(jobs))
+	if err != nil {
+		return cell, fmt.Errorf("scale %d machines: run: %w", machines, err)
+	}
+	cell.WallSeconds = time.Since(start).Seconds() //corralvet:ok wallclock the scale suite measures simulator throughput (wall-clock, events/sec)
+	goruntime.ReadMemStats(&after)
+	cell.Result = res
+	cell.AllocObjects = float64(after.Mallocs - before.Mallocs)
+	cell.AllocMB = float64(after.TotalAlloc-before.TotalAlloc) / 1e6
+	if cell.WallSeconds > 0 {
+		cell.EventsPerSec = float64(res.Events) / cell.WallSeconds
+	}
+
+	cell.DeterminismOK, cell.ResumeOK = true, true
+	if p.SkipVerify {
+		return cell, nil
+	}
+
+	// Verification passes are independent of each other, so they fan out
+	// over the sweep pool; each writes only its own index-addressed detail
+	// slot (sweepsafe), merged serially below.
+	details := make([]string, 2)
+	if err := parallelFor(2, func(i int) error {
+		o, err := opts()
+		if err != nil {
+			return err
+		}
+		switch i {
+		case 0: // determinism rerun: same seed, bit-identical Result
+			again, err := runtime.Run(o, workload.Clone(jobs))
+			if err != nil {
+				return fmt.Errorf("scale %d machines: determinism rerun: %w", machines, err)
+			}
+			if !reflect.DeepEqual(again, res) {
+				details[i] = fmt.Sprintf("rerun diverged (makespan %.6f vs %.6f, events %d vs %d)",
+					again.Makespan, res.Makespan, again.Events, res.Events)
+			}
+		case 1: // snapshot at half the events, codec round-trip, resume
+			snap, err := runtime.CaptureAt(o, workload.Clone(jobs),
+				runtime.CheckpointTarget{EventIndex: res.Events / 2})
+			if err != nil {
+				return fmt.Errorf("scale %d machines: capture: %w", machines, err)
+			}
+			raw, err := snapshot.Encode(snap)
+			if err != nil {
+				return fmt.Errorf("scale %d machines: encode: %w", machines, err)
+			}
+			decoded, err := snapshot.Decode(raw)
+			if err != nil {
+				return fmt.Errorf("scale %d machines: decode: %w", machines, err)
+			}
+			resumed, err := runtime.Resume(decoded, runtime.ResumeOptions{})
+			if err != nil {
+				details[i] = fmt.Sprintf("resume failed: %v", err)
+				return nil
+			}
+			if !reflect.DeepEqual(resumed, res) {
+				details[i] = fmt.Sprintf("resumed Result diverged (makespan %.6f vs %.6f)",
+					resumed.Makespan, res.Makespan)
+			}
+		}
+		return nil
+	}); err != nil {
+		return cell, err
+	}
+	if details[0] != "" {
+		cell.DeterminismOK, cell.Detail = false, details[0]
+	}
+	if details[1] != "" {
+		cell.ResumeOK = false
+		if cell.Detail == "" {
+			cell.Detail = details[1]
+		}
+	}
+	return cell, nil
+}
+
+// RunScale runs the scale sweep. Cells run serially (never through the
+// sweep pool) so each cell's wall-clock measures an unloaded host; only the
+// intra-cell verification passes parallelize.
+func RunScale(p ScaleParams) (*ScaleReport, error) {
+	cells := p.Machines
+	if len(cells) == 0 {
+		cells = ScaleLadder(p.Size)
+	}
+	rep := &ScaleReport{}
+	for _, m := range cells {
+		if m < scaleMachinesPerRack {
+			return nil, fmt.Errorf("scale: cell of %d machines is below one %d-machine rack", m, scaleMachinesPerRack)
+		}
+		cell, err := runScaleCell(p, m)
+		if err != nil {
+			return nil, err
+		}
+		rep.Cells = append(rep.Cells, cell)
+	}
+	return rep, nil
+}
+
+// ScaleWithMachines renders a scale sweep as an ExperimentReport for an
+// explicit cell list (the corralsim -machines flag); nil machines selects
+// the Size's ladder.
+func ScaleWithMachines(p Params, machines []int) (*Report, error) {
+	rep, err := RunScale(ScaleParams{Size: p.Size, Seed: p.Seed, Machines: machines})
+	if err != nil {
+		return nil, err
+	}
+	r := newReport("scale: datacenter-scale fast path (wall-clock, allocs, events/sec)")
+	t := &metrics.Table{
+		Title:   "online W1 stream under Corral; verification = same-seed rerun + mid-flight snapshot/resume",
+		Columns: []string{"machines", "racks", "jobs", "events", "makespan (s)", "plan (s)", "wall (s)", "ev/s", "allocs/ev", "deterministic", "resume"},
+	}
+	verdict := func(ok bool, detail string) string {
+		if ok {
+			return "yes"
+		}
+		return "NO: " + detail
+	}
+	failures := 0
+	for _, c := range rep.Cells {
+		res := c.Result
+		allocsPerEv := 0.0
+		if res.Events > 0 {
+			allocsPerEv = c.AllocObjects / float64(res.Events)
+		}
+		t.AddRow(
+			fmt.Sprintf("%d", c.Machines), fmt.Sprintf("%d", c.Racks), fmt.Sprintf("%d", c.Jobs),
+			fmt.Sprintf("%d", res.Events), metrics.F(res.Makespan, 2),
+			metrics.F(c.PlanSeconds, 2), metrics.F(c.WallSeconds, 2),
+			metrics.F(c.EventsPerSec, 0), metrics.F(allocsPerEv, 1),
+			verdict(c.DeterminismOK, c.Detail), verdict(c.ResumeOK, c.Detail))
+		if !c.DeterminismOK || !c.ResumeOK {
+			failures++
+		}
+		// Semantic keys: pure functions of (Size, Seed, Machines).
+		r.set(fmt.Sprintf("machines_%d_events", c.Machines), float64(res.Events))
+		r.set(fmt.Sprintf("machines_%d_makespan", c.Machines), res.Makespan)
+		r.set(fmt.Sprintf("machines_%d_jobs", c.Machines), float64(c.Jobs))
+		r.set(fmt.Sprintf("machines_%d_failed_jobs", c.Machines), float64(res.FailedJobs))
+		// Host measurements: wallclock_ prefix keeps them out of
+		// determinism comparisons and CI metric gates.
+		r.set(fmt.Sprintf("wallclock_%d_seconds", c.Machines), c.WallSeconds)
+		r.set(fmt.Sprintf("wallclock_%d_plan_seconds", c.Machines), c.PlanSeconds)
+		r.set(fmt.Sprintf("wallclock_%d_events_per_sec", c.Machines), c.EventsPerSec)
+		r.set(fmt.Sprintf("wallclock_%d_allocs_per_event", c.Machines), allocsPerEv)
+		r.set(fmt.Sprintf("wallclock_%d_alloc_mb", c.Machines), c.AllocMB)
+	}
+	r.table(t)
+	r.set("cells", float64(len(rep.Cells)))
+	r.set("verification_failures", float64(failures))
+	return r, nil
+}
+
+// Scale is the registry entry: the Size's full ladder.
+func Scale(p Params) (*Report, error) { return ScaleWithMachines(p, nil) }

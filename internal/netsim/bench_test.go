@@ -59,3 +59,50 @@ func BenchmarkRecomputeMaxMin10k(b *testing.B) { benchmarkAllocate(b, MaxMinFair
 
 func BenchmarkRecomputeGrouped1k(b *testing.B)  { benchmarkAllocate(b, NewGroupedMaxMin(), 1000) }
 func BenchmarkRecomputeGrouped10k(b *testing.B) { benchmarkAllocate(b, NewGroupedMaxMin(), 10000) }
+
+// benchmarkAllocateChurn measures the recompute-under-churn regime the
+// incremental allocator is built for: every iteration one rack uplink's
+// capacity flips (a link fault toggling), dirtying that component only, and
+// the allocator recomputes. For the stateful allocators the cache is warm —
+// this is the per-event cost a long simulation actually pays, as opposed to
+// benchmarkAllocate's identical-input rounds.
+func benchmarkAllocateChurn(b *testing.B, p Policy, nFlows int) {
+	n := benchNetwork(b, nFlows)
+	p.Allocate(n.flows, n.caps, n.scratch) // warm policy cache/scratch
+	base := make([]float64, len(n.caps))
+	copy(base, n.caps)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := int(topoRackUplink(n, i%50))
+		if i%2 == 0 {
+			n.caps[l] = base[l] * 0.9
+		} else {
+			n.caps[l] = base[l]
+		}
+		p.Allocate(n.flows, n.caps, n.scratch)
+	}
+	b.StopTimer()
+	if inc, ok := p.(*IncrementalMaxMin); ok {
+		if incRounds, _ := inc.Rounds(); b.N > 4 && incRounds == 0 {
+			b.Fatal("incremental path never taken: the benchmark is measuring the full pass")
+		}
+	}
+}
+
+// topoRackUplink resolves rack r's uplink on the benchmark cluster.
+func topoRackUplink(n *Network, r int) topology.LinkID { return n.cluster.RackUplink(r) }
+
+func BenchmarkRecomputeIncremental1k(b *testing.B) {
+	benchmarkAllocateChurn(b, NewIncrementalMaxMin(), 1000)
+}
+func BenchmarkRecomputeIncremental10k(b *testing.B) {
+	benchmarkAllocateChurn(b, NewIncrementalMaxMin(), 10000)
+}
+
+// BenchmarkRecomputeGroupedChurn10k is the incremental benchmark's control:
+// the same churn stream through the full grouped pass, so the two rows'
+// ratio is the incremental win in isolation.
+func BenchmarkRecomputeGroupedChurn10k(b *testing.B) {
+	benchmarkAllocateChurn(b, NewGroupedMaxMin(), 10000)
+}

@@ -22,6 +22,14 @@ import (
 // is the same sum 0 + δ₁ + δ₂ + … accumulated below per group. The seeded
 // differential tests in grouped_test.go enforce this bit-for-bit.
 //
+// Like the reference, filling is component-local: used links are
+// partitioned into connected components via the groups' paths, and each
+// component is filled with its own level/accumulator against its own links
+// only. A component's rates are therefore a pure function of its
+// (path, member-count) multiset and its links' capacities — the invariant
+// IncrementalMaxMin exploits to reuse cached rates for components whose
+// inputs did not change (see incremental.go).
+//
 // The allocator keeps reusable scratch keyed by pathID and link id, with
 // round-stamping instead of clearing, so steady-state Allocate calls do not
 // allocate. It is stateful: use one instance per Network (NewGroupedMaxMin),
@@ -42,12 +50,27 @@ type GroupedMaxMin struct {
 	cstamp     []int32
 	used       []int
 
+	// Connected-component scratch, valid per round like cnt. parent is the
+	// union-find forest over used links; compOf[l] is link l's dense
+	// component ordinal (assigned in ascending-link-id order, so ordinals
+	// are deterministic); compLinks[c] lists component c's links ascending;
+	// gcomp[gi] is group gi's component; compGroups[c]/compRate[c] hold the
+	// component's group count and final fill accumulator.
+	parent     []int32
+	compOf     []int32
+	compLinks  [][]int32
+	gcomp      []int32
+	compGroups []int32
+	compRate   []float64
+	numComps   int
+
 	round int32
 }
 
 type pathGroup struct {
 	path   []topology.LinkID
-	count  int // member flows
+	id     int32 // interned pathID: the group's stable identity across rounds
+	count  int   // member flows
 	rate   float64
 	frozen bool
 }
@@ -72,7 +95,22 @@ func (g *GroupedMaxMin) Allocate(flows []*Flow, caps []float64, scratch []float6
 	if len(flows) == 0 {
 		return
 	}
+	g.build(flows, len(remaining))
+	g.partition()
+	for ci := 0; ci < g.numComps; ci++ {
+		g.fillComponent(ci, remaining)
+	}
+	g.assignRates(flows)
+}
 
+// build groups the flows by interned pathID, recomputes the per-link
+// member counts, group lists and used-link set, and unions links sharing a
+// group into the component forest. Shared by GroupedMaxMin and
+// IncrementalMaxMin; round-stamped scratch keeps it allocation-free in the
+// steady state.
+//
+//corral:hotpath
+func (g *GroupedMaxMin) build(flows []*Flow, nLinks int) {
 	g.round++
 	if g.round < 0 { // stamp counter wrapped; invalidate all stamps
 		for i := range g.gstamp {
@@ -99,7 +137,7 @@ func (g *GroupedMaxMin) Allocate(flows []*Flow, caps []float64, scratch []float6
 		if g.gstamp[id] != g.round {
 			g.gstamp[id] = g.round
 			g.groupOf[id] = int32(len(g.groups))
-			g.groups = append(g.groups, pathGroup{path: f.path, count: 1})
+			g.groups = append(g.groups, pathGroup{path: f.path, id: f.pathID, count: 1})
 		} else {
 			g.groups[g.groupOf[id]].count++
 		}
@@ -107,10 +145,12 @@ func (g *GroupedMaxMin) Allocate(flows []*Flow, caps []float64, scratch []float6
 
 	// Per-link unfrozen member counts, per-link group membership, and the
 	// sorted used-link list.
-	if len(g.cnt) < len(remaining) {
-		g.cnt = make([]int, len(remaining))
-		g.cstamp = make([]int32, len(remaining))
-		lg := make([][]int32, len(remaining))
+	if len(g.cnt) < nLinks {
+		g.cnt = make([]int, nLinks)
+		g.cstamp = make([]int32, nLinks)
+		g.parent = make([]int32, nLinks)
+		g.compOf = make([]int32, nLinks)
+		lg := make([][]int32, nLinks)
 		copy(lg, g.linkGroups) // keep already-grown member slices
 		g.linkGroups = lg
 	}
@@ -123,30 +163,91 @@ func (g *GroupedMaxMin) Allocate(flows []*Flow, caps []float64, scratch []float6
 				g.cstamp[li] = g.round
 				g.cnt[li] = 0
 				g.linkGroups[li] = g.linkGroups[li][:0]
+				g.parent[li] = int32(li)
+				g.compOf[li] = -1
 				g.used = append(g.used, li)
 			}
 			g.cnt[li] += grp.count
 			g.linkGroups[li] = append(g.linkGroups[li], int32(gi))
 		}
+		// Union the group's links into one component.
+		r0 := g.find(int32(grp.path[0]))
+		for _, l := range grp.path[1:] {
+			r := g.find(int32(l))
+			if r != r0 {
+				g.parent[r] = r0
+			}
+		}
 	}
 	// Ascending link ids make the bottleneck scan pick the same link as the
 	// reference's full-table scan (strict < keeps the lowest id on ties).
 	slices.Sort(g.used)
+}
 
-	// Water-fill over groups. Every unfrozen group has base rate 0 and
-	// receives the same delta at every level, so one shared accumulator
-	// (rateAcc, summed with exactly the reference's 0 + δ₁ + δ₂ + …
-	// operation order) stands in for all of them: a group's rate is the
-	// accumulator's value at the instant it freezes. That removes the
-	// per-level sweep over all groups — freezing touches only the
-	// bottleneck link's member groups via linkGroups.
-	unfrozen := len(g.groups)
+// find resolves link l's union-find root with path compression. Only valid
+// for links stamped in the current round.
+func (g *GroupedMaxMin) find(l int32) int32 {
+	for g.parent[l] != l {
+		g.parent[l] = g.parent[g.parent[l]]
+		l = g.parent[l]
+	}
+	return l
+}
+
+// partition assigns dense component ordinals to the used links (in
+// ascending-link-id order, hence deterministic), collects each component's
+// link list, and tags every group with its component.
+//
+//corral:hotpath
+func (g *GroupedMaxMin) partition() {
+	g.numComps = 0
+	for _, l := range g.used {
+		r := g.find(int32(l))
+		c := g.compOf[r]
+		if c < 0 {
+			c = int32(g.numComps)
+			g.compOf[r] = c
+			if g.numComps < len(g.compLinks) {
+				g.compLinks[g.numComps] = g.compLinks[g.numComps][:0]
+				g.compGroups[g.numComps] = 0
+			} else {
+				g.compLinks = append(g.compLinks, nil)
+				g.compGroups = append(g.compGroups, 0)
+				g.compRate = append(g.compRate, 0)
+			}
+			g.numComps++
+		}
+		g.compOf[l] = c
+		g.compLinks[c] = append(g.compLinks[c], int32(l))
+	}
+	g.gcomp = g.gcomp[:0]
+	for gi := range g.groups {
+		c := g.compOf[int(g.groups[gi].path[0])]
+		g.gcomp = append(g.gcomp, c)
+		g.compGroups[c]++
+	}
+}
+
+// fillComponent water-fills one component's groups over its own links.
+// Every unfrozen group has base rate 0 and receives the same delta at every
+// level, so one shared accumulator (rateAcc, summed with exactly the
+// reference's 0 + δ₁ + δ₂ + … operation order) stands in for all of them: a
+// group's rate is the accumulator's value at the instant it freezes. The
+// final accumulator is saved per component so groups left unfrozen (no
+// constrained links, impossible on our topology but kept for parity with
+// the reference's early break) pick it up in assignRates.
+//
+//corral:hotpath
+func (g *GroupedMaxMin) fillComponent(ci int, remaining []float64) {
+	links := g.compLinks[ci]
+	unfrozen := int(g.compGroups[ci])
 	level := 0.0
 	rateAcc := 0.0
 	for unfrozen > 0 {
 		bottleneck := -1
 		bottleneckLevel := 0.0
-		for _, l := range g.used {
+		for _, l32 := range links {
+			l := int(l32)
 			c := g.cnt[l]
 			if c == 0 {
 				continue
@@ -162,7 +263,8 @@ func (g *GroupedMaxMin) Allocate(flows []*Flow, caps []float64, scratch []float6
 		}
 		delta := bottleneckLevel - level
 		rateAcc += delta
-		for _, l := range g.used {
+		for _, l32 := range links {
+			l := int(l32)
 			c := g.cnt[l]
 			if c == 0 {
 				continue
@@ -188,17 +290,21 @@ func (g *GroupedMaxMin) Allocate(flows []*Flow, caps []float64, scratch []float6
 		remaining[bottleneck] = 0
 		g.cnt[bottleneck] = 0
 	}
-	if unfrozen > 0 {
-		// No constrained links left: the remaining groups keep the sum
-		// accumulated so far, exactly like the reference's early break.
-		for gi := range g.groups {
-			grp := &g.groups[gi]
-			if !grp.frozen {
-				grp.rate = rateAcc
-			}
+	g.compRate[ci] = rateAcc
+}
+
+// assignRates copies group rates to member flows, giving groups that never
+// froze their component's final accumulator (the reference's early-break
+// behavior, per component).
+//
+//corral:hotpath
+func (g *GroupedMaxMin) assignRates(flows []*Flow) {
+	for gi := range g.groups {
+		grp := &g.groups[gi]
+		if !grp.frozen {
+			grp.rate = g.compRate[g.gcomp[gi]]
 		}
 	}
-
 	for _, f := range flows {
 		f.rate = g.groups[g.groupOf[int(f.pathID)]].rate
 	}

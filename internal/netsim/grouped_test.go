@@ -85,8 +85,19 @@ type runLog struct {
 // replay runs the script against a fresh simulator/network under p and
 // returns the full bit-exact allocation log.
 func replay(c *topology.Cluster, ops []scriptOp, p Policy) runLog {
+	return replayWith(c, ops, p, 0, false)
+}
+
+// replayWith is replay with the scale knobs dialed: a flow-epoch batching
+// quantum and/or Flow-object pooling. Under pooling a handle is dead once
+// its flow completes or is canceled, so the cancel ops consult a liveness
+// table — skipping a dead handle is exactly the reference's
+// cancel-finished-flow no-op.
+func replayWith(c *topology.Cluster, ops []scriptOp, p Policy, epoch des.Time, pooling bool) runLog {
 	sim := des.New()
 	n := New(sim, c, p)
+	n.SetFlowEpoch(epoch)
+	n.SetFlowPooling(pooling)
 	log := runLog{completions: make(map[int64]des.Time)}
 	n.OnAllocate = func() {
 		s := rateSnap{at: sim.Now()}
@@ -97,15 +108,21 @@ func replay(c *topology.Cluster, ops []scriptOp, p Policy) runLog {
 		log.snaps = append(log.snaps, s)
 	}
 	var handles []*Flow
+	var dead []bool
+	register := func(f *Flow) { handles = append(handles, f); dead = append(dead, false) }
+	onDone := func() func(*Flow) {
+		idx := len(handles) // the flow this callback belongs to
+		return func(f *Flow) {
+			dead[idx] = true
+			log.completions[f.ID] = sim.Now()
+		}
+	}
 	for _, op := range ops {
 		op := op
 		sim.At(op.at, func() {
 			switch op.kind {
 			case 0:
-				f := n.Start(op.src, op.dst, op.bytes, 0, 0, func(f *Flow) {
-					log.completions[f.ID] = sim.Now()
-				})
-				handles = append(handles, f)
+				register(n.Start(op.src, op.dst, op.bytes, 0, 0, onDone()))
 			case 1:
 				// Exec-shaped rack-aggregated shuffle path (see exec.go).
 				var path []topology.LinkID
@@ -115,13 +132,11 @@ func replay(c *topology.Cluster, ops []scriptOp, p Policy) runLog {
 				} else {
 					path = []topology.LinkID{c.MachineDownlink(op.dst)}
 				}
-				f := n.StartPath(path, cross, op.bytes, 0, 0, func(f *Flow) {
-					log.completions[f.ID] = sim.Now()
-				})
-				handles = append(handles, f)
+				register(n.StartPath(path, cross, op.bytes, 0, 0, onDone()))
 			case 2:
-				if op.target < len(handles) {
+				if op.target < len(handles) && !dead[op.target] {
 					n.Cancel(handles[op.target])
+					dead[op.target] = true // retired at the next recompute
 				}
 			case 3:
 				n.SetLinkCapacityFactor(topology.LinkID(op.link), op.factor)

@@ -1,0 +1,239 @@
+package netsim
+
+import "corral/internal/topology"
+
+// IncrementalMaxMin is the datacenter-scale fast path over GroupedMaxMin:
+// instead of re-waterfilling the whole network on every recompute, it
+// diffs the current round's (path, member-count) groups and link
+// capacities against a cache of the previous round and re-fills only the
+// connected components whose inputs changed, copying cached rates into
+// every clean component.
+//
+// Why that is bit-identical to GroupedMaxMin: component filling is fully
+// local (see grouped.go) — a component's rates are a pure function of its
+// (path, count) group multiset and its links' capacities, computed with a
+// deterministic float sequence. A component is marked dirty when any of
+// those inputs could have changed:
+//
+//   - a link used this round carries a different capacity than cached
+//     (link fault or repair);
+//   - a group's member count differs from the cached count — covering new
+//     groups (cached count 0), grown and shrunk groups;
+//   - a path active last round vanished entirely; its links that are
+//     still in use are marked per-link, because the vanished path may
+//     have bridged components that are separate now (links no longer
+//     used by anyone cannot influence any current component).
+//
+// If none of those fire for a component, its current group multiset and
+// link capacities are provably identical to a component of the cached
+// round (any group that could have joined or left it would have tripped a
+// rule), so the cached per-group rates ARE the rates a full fill would
+// compute. The seeded differential tests in incremental_test.go enforce
+// the equivalence bit-for-bit against both GroupedMaxMin and MaxMinFair,
+// across starts, cancels, link faults and flow-epoch batching.
+//
+// When the dirty set exceeds FallbackFrac of all groups the allocator
+// runs the plain full grouped pass (same code path, so trivially
+// bit-identical) — diffing overhead is only paid when it buys real work
+// reduction. The cache is rebuilt after every non-empty round either way.
+//
+// Like GroupedMaxMin it is stateful and single-Network: use
+// NewIncrementalMaxMin per simulation. The cache participates in
+// snapshot/resume without serialization because restore replays the event
+// history, rebuilding the cache through the same allocation sequence.
+type IncrementalMaxMin struct {
+	GroupedMaxMin
+
+	// FallbackFrac is the dirty-group fraction above which Allocate
+	// abandons the incremental path for the full grouped pass.
+	// NewIncrementalMaxMin sets 0.25; tests tune it to force either path.
+	FallbackFrac float64
+
+	// Cache of the previous non-empty round, keyed by interned pathID.
+	// prevCount[id] == 0 means the path was absent. prevCaps is refreshed
+	// only for links used in a round; stale entries are harmless because a
+	// link that re-enters use always does so under a new or changed group
+	// (see the dirty rules above).
+	prevCount []int
+	prevRate  []float64
+	prevPath  [][]topology.LinkID
+	prevIDs   []int32
+	prevCaps  []float64
+	haveCache bool
+
+	// compDirty is per-round scratch sized to numComps.
+	compDirty []bool
+
+	// incRounds/fullRounds count Allocate calls served by the incremental
+	// path vs the full pass (including cache-cold rounds); tests use them
+	// to prove the incremental path actually ran (anti-vacuity).
+	incRounds  int
+	fullRounds int
+}
+
+// NewIncrementalMaxMin returns an incremental allocator for use by one
+// Network, with the default 25% dirty-set fallback threshold.
+func NewIncrementalMaxMin() *IncrementalMaxMin {
+	return &IncrementalMaxMin{FallbackFrac: 0.25}
+}
+
+// Name implements Policy.
+func (inc *IncrementalMaxMin) Name() string { return "maxmin-incremental" }
+
+// Rounds reports how many Allocate calls took the incremental path and
+// how many ran the full grouped pass (fallback or cold cache).
+func (inc *IncrementalMaxMin) Rounds() (incremental, full int) {
+	return inc.incRounds, inc.fullRounds
+}
+
+// Allocate implements Policy. Panics like GroupedMaxMin on flows not
+// started via Network.StartPath.
+//
+// Steady state is allocation-free: all cache and scratch slices grow once
+// and are reused, pinned by TestIncrementalAllocateSteadyStateZeroAlloc
+// and the hotalloc analyzer.
+//
+//corral:hotpath
+func (inc *IncrementalMaxMin) Allocate(flows []*Flow, caps []float64, scratch []float64) {
+	g := &inc.GroupedMaxMin
+	remaining := scratch
+	copy(remaining, caps)
+	if len(flows) == 0 {
+		// Nothing to rate; the cache still describes the last non-empty
+		// round and stays valid for the next diff (capacity changes made
+		// meanwhile are caught by the caps rule then).
+		return
+	}
+	g.build(flows, len(remaining))
+	g.partition()
+
+	useInc := false
+	if inc.haveCache {
+		dirtyGroups := inc.markDirty(caps)
+		useInc = float64(dirtyGroups) <= inc.FallbackFrac*float64(len(g.groups))
+	}
+
+	if useInc {
+		inc.incRounds++
+		// Clean components: freeze every group at its cached rate, exactly
+		// what a full fill would produce for identical inputs.
+		for gi := range g.groups {
+			if !inc.compDirty[g.gcomp[gi]] {
+				grp := &g.groups[gi]
+				grp.frozen = true
+				grp.rate = inc.prevRate[grp.id]
+			}
+		}
+		// Dirty components re-fill from scratch; their links are disjoint
+		// from every clean component's, so the shared remaining array
+		// (still at raw caps for these links) gives the same arithmetic
+		// as a full pass.
+		for ci := 0; ci < g.numComps; ci++ {
+			if inc.compDirty[ci] {
+				g.fillComponent(ci, remaining)
+			}
+		}
+	} else {
+		inc.fullRounds++
+		for ci := 0; ci < g.numComps; ci++ {
+			g.fillComponent(ci, remaining)
+		}
+	}
+	g.assignRates(flows)
+	inc.updateCache(caps)
+}
+
+// markDirty applies the three dirty rules against the cache and returns
+// the number of groups living in dirty components (the work a dirty-set
+// re-fill must do, compared against FallbackFrac by the caller).
+//
+//corral:hotpath
+func (inc *IncrementalMaxMin) markDirty(caps []float64) int {
+	g := &inc.GroupedMaxMin
+	if len(inc.compDirty) < g.numComps {
+		inc.compDirty = make([]bool, g.numComps)
+	} else {
+		for ci := 0; ci < g.numComps; ci++ {
+			inc.compDirty[ci] = false
+		}
+	}
+
+	// Rule: capacity changed on a used link. Stale prevCaps entries (link
+	// unused in the cached round) at worst over-mark: such a link's
+	// component is dirty via the new-group rule anyway.
+	for _, l := range g.used {
+		if l < len(inc.prevCaps) {
+			//corralvet:ok floateq exact identity intended: cached-capacity diff; near-equal capacities are real changes that must dirty the component
+			if caps[l] != inc.prevCaps[l] {
+				inc.compDirty[g.compOf[l]] = true
+			}
+		} else {
+			inc.compDirty[g.compOf[l]] = true
+		}
+	}
+
+	// Rule: group member count changed (covers new groups: cached 0).
+	for gi := range g.groups {
+		grp := &g.groups[gi]
+		id := int(grp.id)
+		if id >= len(inc.prevCount) || inc.prevCount[id] != grp.count {
+			inc.compDirty[g.gcomp[gi]] = true
+		}
+	}
+
+	// Rule: path vanished since the cached round. Mark its links that are
+	// still in use — the vanished path may have bridged components that
+	// are separate now, so each link dirties its own current component.
+	for _, id32 := range inc.prevIDs {
+		id := int(id32)
+		if id < len(g.gstamp) && g.gstamp[id] == g.round {
+			continue // still active
+		}
+		for _, l := range inc.prevPath[id] {
+			li := int(l)
+			if g.cstamp[li] == g.round {
+				inc.compDirty[g.compOf[li]] = true
+			}
+		}
+	}
+
+	dirtyGroups := 0
+	for gi := range g.groups {
+		if inc.compDirty[g.gcomp[gi]] {
+			dirtyGroups++
+		}
+	}
+	return dirtyGroups
+}
+
+// updateCache records this round's groups, rates and used-link capacities
+// as the baseline for the next diff.
+//
+//corral:hotpath
+func (inc *IncrementalMaxMin) updateCache(caps []float64) {
+	g := &inc.GroupedMaxMin
+	for _, id := range inc.prevIDs {
+		inc.prevCount[id] = 0
+	}
+	inc.prevIDs = inc.prevIDs[:0]
+	for gi := range g.groups {
+		grp := &g.groups[gi]
+		id := int(grp.id)
+		if id >= len(inc.prevCount) {
+			inc.prevCount = append(inc.prevCount, make([]int, id+1-len(inc.prevCount))...)
+			inc.prevRate = append(inc.prevRate, make([]float64, id+1-len(inc.prevRate))...)
+			inc.prevPath = append(inc.prevPath, make([][]topology.LinkID, id+1-len(inc.prevPath))...)
+		}
+		inc.prevCount[id] = grp.count
+		inc.prevRate[id] = grp.rate
+		inc.prevPath[id] = grp.path
+		inc.prevIDs = append(inc.prevIDs, grp.id)
+	}
+	if len(inc.prevCaps) < len(caps) {
+		inc.prevCaps = append(inc.prevCaps, make([]float64, len(caps)-len(inc.prevCaps))...)
+	}
+	for _, l := range g.used {
+		inc.prevCaps[l] = caps[l]
+	}
+	inc.haveCache = true
+}

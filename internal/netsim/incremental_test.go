@@ -1,0 +1,313 @@
+package netsim
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"corral/internal/des"
+	"corral/internal/topology"
+)
+
+// incFlow builds a Flow the way StartPath would have, with an explicit
+// interned pathID, for driving allocators directly in tests.
+func incFlow(id int64, pathID int32, path []topology.LinkID) *Flow {
+	return &Flow{ID: id, Bytes: 1, remaining: 1, path: path, pathID: pathID}
+}
+
+// ratesBits captures every flow's rate bit-exactly, in slice order.
+func ratesBits(flows []*Flow) []uint64 {
+	out := make([]uint64, len(flows))
+	for i, f := range flows {
+		out[i] = math.Float64bits(f.rate)
+	}
+	return out
+}
+
+// assertSameAsFresh allocates the same flow set under a fresh GroupedMaxMin
+// and a fresh MaxMinFair and requires the candidate's rates to match both
+// bit for bit.
+func assertSameAsFresh(t *testing.T, label string, flows []*Flow, caps []float64) {
+	t.Helper()
+	got := ratesBits(flows)
+	scratch := make([]float64, len(caps))
+	NewGroupedMaxMin().Allocate(flows, caps, scratch)
+	if want := ratesBits(flows); !reflect.DeepEqual(got, want) {
+		t.Fatalf("%s: rates diverge from fresh GroupedMaxMin:\n got:  %v\n want: %v", label, got, want)
+	}
+	MaxMinFair{}.Allocate(flows, caps, scratch)
+	if want := ratesBits(flows); !reflect.DeepEqual(got, want) {
+		t.Fatalf("%s: rates diverge from fresh MaxMinFair:\n got:  %v\n want: %v", label, got, want)
+	}
+}
+
+// TestIncrementalFallbackBoundary drives the dirty set across the
+// full-recompute threshold from both sides: with FallbackFrac 0.25 over 8
+// single-link groups the boundary is 2 dirty groups, so rounds dirtying
+// 1 and 2 groups must take the incremental path and a round dirtying 3
+// must fall back — with bit-identical rates throughout.
+func TestIncrementalFallbackBoundary(t *testing.T) {
+	const nGroups = 8
+	caps := make([]float64, nGroups)
+	for i := range caps {
+		caps[i] = float64(i+1) * gbps // distinct caps so rates are distinct
+	}
+	scratch := make([]float64, nGroups)
+	// paths[k] is the single-link path of group k (pathID k+1).
+	paths := make([][]topology.LinkID, nGroups)
+	for k := range paths {
+		paths[k] = []topology.LinkID{topology.LinkID(k)}
+	}
+	var flows []*Flow
+	nextID := int64(1)
+	addFlow := func(group int) {
+		flows = append(flows, incFlow(nextID, int32(group+1), paths[group]))
+		nextID++
+	}
+	for k := 0; k < nGroups; k++ {
+		addFlow(k)
+	}
+
+	inc := NewIncrementalMaxMin()
+	round := func(label string, wantInc, wantFull int) {
+		t.Helper()
+		inc.Allocate(flows, caps, scratch)
+		assertSameAsFresh(t, label, flows, caps)
+		if gotInc, gotFull := inc.Rounds(); gotInc != wantInc || gotFull != wantFull {
+			t.Fatalf("%s: rounds (inc %d, full %d), want (inc %d, full %d)",
+				label, gotInc, gotFull, wantInc, wantFull)
+		}
+	}
+
+	round("cold cache", 0, 1)          // no cache: full pass
+	addFlow(0)                         // group 1 count 1→2
+	round("1 dirty ≤ 2", 1, 1)         // under threshold: incremental
+	addFlow(1)                         // groups 2,3 change
+	addFlow(2)                         //
+	round("2 dirty ≤ 2", 2, 1)         // exactly at threshold: incremental
+	addFlow(3)                         // groups 4,5,6 change
+	addFlow(4)                         //
+	addFlow(5)                         //
+	round("3 dirty > 2", 2, 2)         // over threshold: full fallback
+	round("0 dirty (no change)", 3, 2) // clean cache hit: incremental
+}
+
+// TestIncrementalDirtyRules exercises each cache-invalidation rule in
+// isolation — capacity change, vanished bridging path, and pure cache
+// reuse — with FallbackFrac 1 so the incremental path always runs when a
+// cache exists, and verifies rates stay bit-identical to a full pass.
+func TestIncrementalDirtyRules(t *testing.T) {
+	caps := []float64{2 * gbps, 3 * gbps, 5 * gbps, 7 * gbps}
+	scratch := make([]float64, len(caps))
+	pathA := []topology.LinkID{0}
+	pathB := []topology.LinkID{1}
+	pathC := []topology.LinkID{0, 1} // bridges A's and B's components
+	pathD := []topology.LinkID{2, 3}
+	fA := incFlow(1, 1, pathA)
+	fB := incFlow(2, 2, pathB)
+	fC := incFlow(3, 3, pathC)
+	fD := incFlow(4, 4, pathD)
+
+	inc := NewIncrementalMaxMin()
+	inc.FallbackFrac = 1
+
+	all := []*Flow{fA, fB, fC, fD}
+	inc.Allocate(all, caps, scratch)
+	assertSameAsFresh(t, "cold", all, caps)
+
+	// Vanished bridge: dropping C splits {0,1} into two components; both
+	// must be re-filled, D's component is untouched.
+	noBridge := []*Flow{fA, fB, fD}
+	inc.Allocate(noBridge, caps, scratch)
+	assertSameAsFresh(t, "vanished bridge", noBridge, caps)
+
+	// Capacity change on link 0 dirties only A's component.
+	caps[0] = 1 * gbps
+	inc.Allocate(noBridge, caps, scratch)
+	assertSameAsFresh(t, "capacity change", noBridge, caps)
+
+	// No change at all: pure cache reuse must reproduce the same rates.
+	before := ratesBits(noBridge)
+	inc.Allocate(noBridge, caps, scratch)
+	if !reflect.DeepEqual(before, ratesBits(noBridge)) {
+		t.Fatal("clean cache reuse changed rates")
+	}
+	assertSameAsFresh(t, "clean reuse", noBridge, caps)
+
+	if gotInc, _ := inc.Rounds(); gotInc != 3 {
+		t.Fatalf("incremental path ran %d times, want 3 (vanish, caps, reuse)", gotInc)
+	}
+}
+
+// TestIncrementalBitIdenticalToGrouped is the differential gate for the
+// incremental allocator: the PR 4 randomized scripts (starts, cancels,
+// link faults, rack-aggregated paths) replayed under GroupedMaxMin and
+// IncrementalMaxMin must produce bit-identical allocations, completions
+// and accounting — at the default fallback threshold and with the
+// fallback disabled (FallbackFrac 1, maximum incremental coverage).
+func TestIncrementalBitIdenticalToGrouped(t *testing.T) {
+	c := topology.MustNew(topology.Config{
+		Racks:            4,
+		MachinesPerRack:  5,
+		SlotsPerMachine:  2,
+		NICBandwidth:     10 * gbps,
+		Oversubscription: 5,
+	})
+	totalInc := 0
+	for seed := int64(1); seed <= 8; seed++ {
+		ops := genScript(rand.New(rand.NewSource(seed)), c, 300)
+		ref := replay(c, ops, NewGroupedMaxMin())
+		for _, frac := range []float64{0.25, 1} {
+			inc := NewIncrementalMaxMin()
+			inc.FallbackFrac = frac
+			got := replay(c, ops, inc)
+			if len(ref.snaps) != len(got.snaps) {
+				t.Fatalf("seed %d frac %v: %d allocations under grouped, %d under incremental",
+					seed, frac, len(ref.snaps), len(got.snaps))
+			}
+			for i := range ref.snaps {
+				if !reflect.DeepEqual(ref.snaps[i], got.snaps[i]) {
+					t.Fatalf("seed %d frac %v: allocation %d diverges:\n grouped:     %+v\n incremental: %+v",
+						seed, frac, i, ref.snaps[i], got.snaps[i])
+				}
+			}
+			if !reflect.DeepEqual(ref.completions, got.completions) {
+				t.Fatalf("seed %d frac %v: completion times diverge", seed, frac)
+			}
+			if ref.cross != got.cross || ref.total != got.total || ref.served != got.served {
+				t.Fatalf("seed %d frac %v: accounting diverges", seed, frac)
+			}
+			gotInc, _ := inc.Rounds()
+			totalInc += gotInc
+		}
+	}
+	if totalInc == 0 {
+		t.Fatal("incremental path never ran across any seed: differential test is vacuous")
+	}
+}
+
+// TestIncrementalBitIdenticalUnderEpochAndPooling runs the differential
+// scripts with the scale knobs on: a flow-epoch batching quantum (same on
+// both sides — batching changes the recompute schedule, which must stay a
+// pure function of the change sequence) and Flow pooling on the
+// incremental side only (object recycling must be invisible to rates,
+// completions and accounting).
+func TestIncrementalBitIdenticalUnderEpochAndPooling(t *testing.T) {
+	c := topology.MustNew(topology.Config{
+		Racks:            4,
+		MachinesPerRack:  5,
+		SlotsPerMachine:  2,
+		NICBandwidth:     10 * gbps,
+		Oversubscription: 5,
+	})
+	const epoch = des.Time(0.05)
+	batchedSomewhere := false
+	for seed := int64(1); seed <= 4; seed++ {
+		ops := genScript(rand.New(rand.NewSource(seed)), c, 300)
+		exact := replay(c, ops, NewGroupedMaxMin())
+		ref := replayWith(c, ops, NewGroupedMaxMin(), epoch, false)
+		got := replayWith(c, ops, NewIncrementalMaxMin(), epoch, true)
+		if !reflect.DeepEqual(ref.snaps, got.snaps) {
+			t.Fatalf("seed %d: allocations diverge between grouped and pooled incremental under epoch batching", seed)
+		}
+		if !reflect.DeepEqual(ref.completions, got.completions) {
+			t.Fatalf("seed %d: completion times diverge under epoch batching", seed)
+		}
+		if ref.cross != got.cross || ref.total != got.total || ref.served != got.served {
+			t.Fatalf("seed %d: accounting diverges under epoch batching", seed)
+		}
+		if len(ref.snaps) < len(exact.snaps) {
+			batchedSomewhere = true
+		}
+	}
+	if !batchedSomewhere {
+		t.Fatal("epoch batching never coalesced a recompute on any seed: test is vacuous")
+	}
+}
+
+// TestFlowEpochQuantizesRecomputes pins the batching contract directly: a
+// burst of starts spread inside one quantum triggers exactly one
+// allocation, at the epoch boundary.
+func TestFlowEpochQuantizesRecomputes(t *testing.T) {
+	sim, n := newNet(t, NewIncrementalMaxMin())
+	n.SetFlowEpoch(0.25)
+	var at []des.Time
+	n.OnAllocate = func() { at = append(at, sim.Now()) }
+	for i := 0; i < 5; i++ {
+		d := des.Time(0.01 + float64(i)*0.02)
+		sim.At(d, func() { n.Start(0, 4, 1*gbps, 0, 0, nil) })
+	}
+	sim.Run()
+	if len(at) == 0 || at[0] != 0.25 {
+		t.Fatalf("first allocation at %v, want exactly at the 0.25 epoch boundary (allocations: %v)", at, at)
+	}
+	for i := 1; i < len(at); i++ {
+		if at[i] < at[i-1] {
+			t.Fatalf("allocation times regressed: %v", at)
+		}
+	}
+}
+
+// TestFlowPoolingRecyclesObjects proves the pool actually engages: after
+// flows retire, new starts reuse the same Flow objects.
+func TestFlowPoolingRecyclesObjects(t *testing.T) {
+	sim, n := newNet(t, NewIncrementalMaxMin())
+	n.SetFlowPooling(true)
+	first := n.Start(0, 4, 1*gbps, 0, 0, nil)
+	sim.Run()
+	if len(n.flowPool) != 1 {
+		t.Fatalf("pool holds %d flows after completion, want 1", len(n.flowPool))
+	}
+	second := n.Start(1, 5, 1*gbps, 0, 0, nil)
+	if second != first {
+		t.Fatal("retired Flow object was not recycled for the next start")
+	}
+	sim.Run()
+	// Loopback flows must never come from (or land in) the pool.
+	loop := n.Start(2, 2, 1*gbps, 0, 0, nil)
+	if loop == second {
+		t.Fatal("loopback flow was served from the pool")
+	}
+	sim.Run()
+	if len(n.flowPool) != 1 {
+		t.Fatalf("pool holds %d flows after loopback completion, want 1 (loopback never pooled)", len(n.flowPool))
+	}
+}
+
+// TestIncrementalAllocateSteadyStateZeroAlloc pins the zero-alloc
+// contract for the incremental path: once cache and scratch are warm,
+// recomputes — diff, clean-component reuse and cache refresh included —
+// allocate nothing.
+func TestIncrementalAllocateSteadyStateZeroAlloc(t *testing.T) {
+	c := topology.MustNew(topology.Config{
+		Racks:            4,
+		MachinesPerRack:  5,
+		SlotsPerMachine:  2,
+		NICBandwidth:     10 * gbps,
+		Oversubscription: 5,
+	})
+	sim := des.New()
+	n := New(sim, c, NewGroupedMaxMin())
+	for dst := 0; dst < 20; dst++ {
+		for src := 0; src < 20; src++ {
+			if src != dst {
+				n.Start(src, dst, 100*gbps, 0, 0, nil)
+			}
+		}
+	}
+	for sim.Step() && n.ActiveFlows() == 0 {
+	}
+	inc := NewIncrementalMaxMin()
+	inc.Allocate(n.flows, n.caps, n.scratch) // cold full pass, grows scratch
+	inc.Allocate(n.flows, n.caps, n.scratch) // first diff, grows compDirty
+	avg := testing.AllocsPerRun(100, func() {
+		inc.Allocate(n.flows, n.caps, n.scratch)
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state Allocate performs %.1f allocations per call, want 0", avg)
+	}
+	if gotInc, _ := inc.Rounds(); gotInc == 0 {
+		t.Fatal("incremental path never ran: zero-alloc test is vacuous")
+	}
+}

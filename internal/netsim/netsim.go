@@ -92,12 +92,31 @@ type Network struct {
 	// pathID (starting at 1), the equivalence-class key GroupedMaxMin
 	// groups on. pathKey is a reused encoding buffer — map lookups via
 	// pathIDs[string(pathKey)] do not allocate; only the first sighting of
-	// a distinct path does.
-	pathIDs  map[string]int32
-	pathKey  []byte
-	numPaths int32
+	// a distinct path does. pathsByID[id] is the canonical (never mutated)
+	// link slice for each interned path: every flow's path field aliases
+	// it, so callers may pass reusable path buffers to StartPath and
+	// caches like IncrementalMaxMin can hold path references across rounds.
+	pathIDs   map[string]int32
+	pathKey   []byte
+	pathsByID [][]topology.LinkID
+	numPaths  int32
+	startBuf  []topology.LinkID // reused by Start for AppendPath
 
 	completedScratch []*Flow // reused each recompute for finished flows
+
+	// Flow pooling (SetFlowPooling): canceled and completed path flows are
+	// recycled through flowPool once fully retired — after accounting,
+	// tracing and done callbacks. Loopback flows are never pooled: their
+	// completion closure reads the object after an arbitrary delay.
+	flowPool  []*Flow
+	poolFlows bool
+
+	// Flow-epoch batching (SetFlowEpoch): when positive, recomputes
+	// triggered by flow-set changes are quantized up to the next epoch
+	// boundary instead of running immediately; completion events still
+	// fire exactly. recomputeAt is the pending quantized target.
+	flowEpoch   des.Time
+	recomputeAt des.Time
 
 	lastAdvance  des.Time
 	completionEv *des.Event
@@ -143,13 +162,15 @@ func New(sim *des.Simulator, cluster *topology.Cluster, policy Policy) *Network 
 	base := make([]float64, len(caps))
 	copy(base, caps)
 	return &Network{
-		sim:          sim,
-		cluster:      cluster,
-		policy:       policy,
-		caps:         caps,
-		baseCaps:     base,
-		scratch:      make([]float64, len(links)),
-		pathIDs:      make(map[string]int32),
+		sim:       sim,
+		cluster:   cluster,
+		policy:    policy,
+		caps:      caps,
+		baseCaps:  base,
+		scratch:   make([]float64, len(links)),
+		pathIDs:   make(map[string]int32),
+		pathsByID: [][]topology.LinkID{nil}, // index 0: the un-interned id
+
 		LoopbackRate: 1e12, // ~instantaneous local copy
 		crossByJob:   make(map[int]float64),
 		linkBytes:    make([]float64, len(links)),
@@ -172,6 +193,32 @@ func (n *Network) TotalBytes() float64 { return n.totalBytes }
 // FlowsServed returns the number of completed flows.
 func (n *Network) FlowsServed() int64 { return n.flowsServed }
 
+// SetFlowPooling enables (or disables) recycling of retired Flow objects.
+// With pooling on, a *Flow handle is only valid until the flow completes
+// or its cancellation is processed: callers must drop every reference in
+// the done callback (or after Cancel) and never touch a flow afterward.
+// The runtime follows that discipline; direct test/tool users of Network
+// should leave pooling off unless they do too. Loopback (src==dst) flows
+// are never pooled.
+func (n *Network) SetFlowPooling(on bool) { n.poolFlows = on }
+
+// SetFlowEpoch sets the recompute-batching quantum. With a positive
+// epoch, rate recomputations triggered by flow starts, cancels and link
+// capacity changes are deferred to the next multiple of the epoch, so a
+// burst of changes inside one quantum is absorbed by a single
+// re-waterfill — the coarse knob for the huge-shuffle tail at datacenter
+// scale. Flow completions still recompute exactly (completion times stay
+// event-driven); the trade-off is that a mid-epoch start or cancel keeps
+// the old allocation until the boundary. Zero (the default) restores
+// exact recompute-on-change behavior. Determinism is unaffected: the
+// quantized schedule is a pure function of the change sequence.
+func (n *Network) SetFlowEpoch(e des.Time) {
+	if e < 0 {
+		panic(fmt.Sprintf("netsim: negative flow epoch %g", float64(e)))
+	}
+	n.flowEpoch = e
+}
+
 // Start begins a transfer of bytes from machine src to machine dst.
 // done, if non-nil, is invoked when the transfer finishes. Zero-byte flows
 // complete via an immediate event (never synchronously), so callers can
@@ -180,7 +227,10 @@ func (n *Network) Start(src, dst int, bytes float64, coflow CoflowID, jobID int,
 	if src == dst {
 		return n.startPath(nil, false, bytes, coflow, jobID, src, dst, done)
 	}
-	path, cross := n.cluster.Path(src, dst)
+	// startBuf is reusable: startPath rebinds the flow to the interned
+	// canonical path before returning.
+	path, cross := n.cluster.AppendPath(n.startBuf, src, dst)
+	n.startBuf = path[:0]
 	return n.startPath(path, cross, bytes, coflow, jobID, src, dst, done)
 }
 
@@ -200,7 +250,15 @@ func (n *Network) startPath(path []topology.LinkID, crossRack bool, bytes float6
 		panic(fmt.Sprintf("netsim: negative flow size %g", bytes))
 	}
 	n.nextID++
-	f := &Flow{
+	var f *Flow
+	if n.poolFlows && len(path) > 0 && len(n.flowPool) > 0 {
+		f = n.flowPool[len(n.flowPool)-1]
+		n.flowPool[len(n.flowPool)-1] = nil
+		n.flowPool = n.flowPool[:len(n.flowPool)-1]
+	} else {
+		f = new(Flow)
+	}
+	*f = Flow{
 		ID:        n.nextID,
 		Src:       src,
 		Dst:       dst,
@@ -228,6 +286,7 @@ func (n *Network) startPath(path []topology.LinkID, crossRack bool, bytes float6
 		return f
 	}
 	f.pathID = n.internPath(path)
+	f.path = n.pathsByID[f.pathID] // canonical slice; caller may reuse its buffer
 	n.Trace.FlowStart(float64(n.sim.Now()), f.ID, jobID, src, dst, bytes, crossRack)
 	n.flows = append(n.flows, f)
 	n.scheduleRecompute()
@@ -247,6 +306,9 @@ func (n *Network) internPath(path []topology.LinkID) int32 {
 	}
 	n.numPaths++
 	n.pathIDs[string(n.pathKey)] = n.numPaths
+	canon := make([]topology.LinkID, len(path))
+	copy(canon, path)
+	n.pathsByID = append(n.pathsByID, canon)
 	return n.numPaths
 }
 
@@ -289,8 +351,23 @@ func (n *Network) SetLinkCapacityFactor(id topology.LinkID, factor float64) {
 func (n *Network) LinkCapacity(id topology.LinkID) float64 { return n.caps[id] }
 
 // scheduleRecompute coalesces multiple same-instant flow-set changes into a
-// single rate recomputation.
+// single rate recomputation. With a flow epoch set it instead quantizes
+// the recompute up to the next epoch boundary, coalescing every change in
+// the same quantum into one re-waterfill.
 func (n *Network) scheduleRecompute() {
+	if n.flowEpoch > 0 {
+		at := des.Time(math.Ceil(float64(n.sim.Now())/float64(n.flowEpoch))) * n.flowEpoch
+		if at < n.sim.Now() {
+			at = n.sim.Now() // ceil·epoch rounded an ulp below now
+		}
+		//corralvet:ok floateq exact identity intended: both sides are the same quantized epoch boundary; near-equal targets are distinct boundaries
+		if n.recomputeEv != nil && !n.recomputeEv.Canceled() && n.recomputeAt == at {
+			return
+		}
+		n.recomputeAt = at
+		n.recomputeEv = n.sim.After(at-n.sim.Now(), n.recompute)
+		return
+	}
 	//corralvet:ok floateq exact identity intended: both sides are the same des.Time instant; near-equal instants are distinct events
 	if n.recomputeEv != nil && !n.recomputeEv.Canceled() && n.recomputeEv.At() == n.sim.Now() {
 		return
@@ -353,6 +430,11 @@ func (n *Network) recompute() {
 				}
 			}
 			f.rate = 0
+			if n.poolFlows {
+				// Fully retired: accounted, traced, no callback pending
+				// (cancel suppresses done). Recycle the object.
+				n.flowPool = append(n.flowPool, f)
+			}
 		case f.remaining <= completionEpsilon:
 			completed = append(completed, f)
 		default:
@@ -378,6 +460,13 @@ func (n *Network) recompute() {
 		}
 		if f.done != nil {
 			f.done(f)
+		}
+		if n.poolFlows {
+			// The done callback has run (and per the pooling contract
+			// dropped its references); the object is free to recycle. A
+			// flow started from inside a later done callback in this batch
+			// may legitimately reuse it.
+			n.flowPool = append(n.flowPool, f)
 		}
 	}
 	for i := range completed {

@@ -26,6 +26,7 @@ package planner
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"corral/internal/job"
@@ -305,12 +306,17 @@ func (s *scheduler) run(rj []int) *schedResult {
 		s.rackF[i] = rackState{f: f, id: i}
 	}
 	if s.initF != nil {
-		sort.Slice(s.rackF, func(a, b int) bool {
-			x, y := s.rackF[a], s.rackF[b]
+		// (f, id) with unique ids is a strict total order: the generic sort
+		// yields the same permutation sort.Slice did, without reflection.
+		slices.SortFunc(s.rackF, func(x, y rackState) int {
+			//corralvet:ok floateq exact identity intended: equal-F racks order by id; any F difference, however small, orders by F
 			if x.f != y.f {
-				return x.f < y.f
+				if x.f < y.f {
+					return -1
+				}
+				return 1
 			}
-			return x.id < y.id
+			return x.id - y.id
 		})
 	}
 
@@ -360,11 +366,15 @@ func (s *scheduler) run(rj []int) *schedResult {
 func (s *scheduler) rebuildRackF(k int, finish float64) {
 	R := len(s.rackF)
 	// Collect the k reassigned racks, keeping id order (they share F).
+	// ids are unique, so the comparator is a strict total order and the
+	// reflection-free generic sort produces the identical permutation the
+	// old sort.Slice did — this is the planner's hottest line at datacenter
+	// scale (called once per placed job, J times per candidate allocation).
 	reassigned := s.buf[:0]
 	for i := 0; i < k; i++ {
 		reassigned = append(reassigned, rackState{f: finish, id: s.rackF[i].id})
 	}
-	sort.Slice(reassigned, func(a, b int) bool { return reassigned[a].id < reassigned[b].id })
+	slices.SortFunc(reassigned, func(a, b rackState) int { return a.id - b.id })
 	// Merge the untouched suffix with the reassigned entries.
 	merged := s.merged[:0]
 	i, j := k, 0

@@ -10,7 +10,6 @@ import (
 	"corral/internal/job"
 	"corral/internal/netsim"
 	"corral/internal/planner"
-	"corral/internal/topology"
 	"corral/internal/trace"
 )
 
@@ -46,11 +45,23 @@ type jobExec struct {
 
 	taskSeconds   float64
 	reduceSeconds []float64
-	racksTouched  map[int]bool
-	stagesLeft    int
+	// racksTouched[r] marks racks the job has run attempts in; racksUsed
+	// counts the marks (an indexed slice, not a map: touchRack is on the
+	// per-attempt hot path).
+	racksTouched []bool
+	racksUsed    int
+	stagesLeft   int
 	// tasksLaunched counts attempts ever started — replanning treats jobs
 	// with zero launches as freely re-assignable.
 	tasksLaunched int
+}
+
+// touchRack marks rack r as used by the job.
+func (je *jobExec) touchRack(r int) {
+	if !je.racksTouched[r] {
+		je.racksTouched[r] = true
+		je.racksUsed++
+	}
 }
 
 // planPriority orders planned jobs; ad-hoc and unplanned jobs sort last.
@@ -172,7 +183,7 @@ func (rt *runtime) submit(je *jobExec) {
 	je.submitted = true
 	rt.probe(invariants.JobSubmit, -1, je.job.ID)
 	rt.tr.JobSubmit(float64(rt.sim.Now()), je.job.ID, je.job.Name, je.job.Slots())
-	je.racksTouched = make(map[int]bool)
+	je.racksTouched = make([]bool, rt.cluster.Config.Racks)
 	if rt.opts.Scheduler == ShuffleWatcher && !je.job.AdHoc {
 		je.allowedRacks = rt.shuffleWatcherRacks(je)
 	}
@@ -257,8 +268,15 @@ func (rt *runtime) startStage(st *stageExec) {
 	}
 	perMap := p.InputBytes / float64(p.MapTasks)
 
+	// One slab allocation for the whole stage's map tasks instead of one
+	// per task; at datacenter scale a stage can carry tens of thousands.
+	slab := make([]mapTask, p.MapTasks)
 	for i := 0; i < p.MapTasks; i++ {
-		t := &mapTask{index: i, bytes: perMap, srcMachine: -1, doneOn: -1}
+		t := &slab[i]
+		t.index = i
+		t.bytes = perMap
+		t.srcMachine = -1
+		t.doneOn = -1
 		st.maps = append(st.maps, t)
 		switch {
 		case st.inputFile != nil && len(st.inputFile.Blocks) > 0:
@@ -375,7 +393,7 @@ func (rt *runtime) runMap(st *stageExec, t *mapTask, m int) {
 	je := st.je
 	rt.freeSlots[m]--
 	rt.taskStarted(je)
-	je.racksTouched[rt.cluster.RackOf(m)] = true
+	je.touchRack(rt.cluster.RackOf(m))
 	tk := rt.track(je, st, t, nil, m)
 	rt.tr.TaskStart(float64(rt.sim.Now()), trace.RoleMap, je.job.ID, st.idx, t.index, t.attempts, m)
 	rt.armCrash(tk, t.bytes/st.profile.MapRate)
@@ -452,8 +470,13 @@ func (rt *runtime) finishMapsPhase(st *stageExec) {
 	st.reduces = st.reduces[:0]
 	st.reduceQ = st.reduceQ[:0]
 	st.reducesDone = 0
+	// Slab-allocated like the map tasks; a rebuild after an AM restart
+	// gets a fresh slab (stale pointers in aborted attempts are inert).
+	slab := make([]reduceTask, st.profile.ReduceTasks)
 	for i := 0; i < st.profile.ReduceTasks; i++ {
-		rT := &reduceTask{index: i, doneOn: -1}
+		rT := &slab[i]
+		rT.index = i
+		rT.doneOn = -1
 		st.reduces = append(st.reduces, rT)
 		st.reduceQ = append(st.reduceQ, rT)
 		rt.tr.TaskQueued(float64(rt.sim.Now()), trace.RoleReduce, st.je.job.ID, st.idx, rT.index, rT.attempts)
@@ -469,7 +492,7 @@ func (rt *runtime) runReduce(st *stageExec, rT *reduceTask, m int) {
 	je := st.je
 	rt.freeSlots[m]--
 	rt.taskStarted(je)
-	je.racksTouched[rt.cluster.RackOf(m)] = true
+	je.touchRack(rt.cluster.RackOf(m))
 	tk := rt.track(je, st, nil, rT, m)
 	rt.tr.TaskStart(float64(rt.sim.Now()), trace.RoleReduce, je.job.ID, st.idx, rT.index, rT.attempts, m)
 	p := st.profile
@@ -540,20 +563,20 @@ func (rt *runtime) runReduce(st *stageExec, rT *reduceTask, m int) {
 			}
 			remainingFlows++
 			tk.flow(rt, func(done func(*netsim.Flow)) *netsim.Flow {
-				return rt.net.StartPath(
-					[]topology.LinkID{rt.cluster.MachineDownlink(m)},
+				// shufBuf is reusable: StartPath interns the path and the
+				// flow keeps the canonical copy, never this buffer.
+				rt.shufBuf[0] = rt.cluster.MachineDownlink(m)
+				return rt.net.StartPath(rt.shufBuf[:1],
 					false, bytes, st.coflow, je.job.ID, done)
 			}, flowDone)
 			continue
 		}
 		remainingFlows++
 		tk.flow(rt, func(done func(*netsim.Flow)) *netsim.Flow {
-			return rt.net.StartPath(
-				[]topology.LinkID{
-					rt.cluster.RackUplink(r),
-					rt.cluster.RackDownlink(myRack),
-					rt.cluster.MachineDownlink(m),
-				},
+			rt.shufBuf[0] = rt.cluster.RackUplink(r)
+			rt.shufBuf[1] = rt.cluster.RackDownlink(myRack)
+			rt.shufBuf[2] = rt.cluster.MachineDownlink(m)
+			return rt.net.StartPath(rt.shufBuf[:3],
 				true, bytes, st.coflow, je.job.ID, done)
 		}, flowDone)
 	}

@@ -80,9 +80,16 @@ func ParseKind(s string) (Kind, error) {
 // Options configures one simulated run.
 type Options struct {
 	Topology topology.Config
-	// Network is the bandwidth-sharing policy; nil selects max-min fair
-	// (TCP-like).
+	// Network is the bandwidth-sharing policy; nil selects the incremental
+	// max-min fast path (TCP-like rates, bit-identical to MaxMinFair).
 	Network netsim.Policy
+	// FlowEpoch, when positive, batches network rate recomputations to
+	// multiples of this many simulated seconds: flow starts, cancels and
+	// link faults inside one quantum are absorbed by a single re-waterfill
+	// (completions still recompute exactly). The coarse knob for the
+	// huge-shuffle tail at datacenter scale; zero keeps the exact
+	// recompute-on-change behavior.
+	FlowEpoch float64
 	// Scheduler selects the policy; Corral and LocalShuffle require Plan.
 	Scheduler Kind
 	Plan      *planner.Plan
@@ -367,8 +374,15 @@ type runtime struct {
 	freeSlots    []int
 	dead         []bool
 	deadCount    int
-	running      map[int][]*runningTask
-	machineOrder []int // heartbeat visit order, reshuffled per pass
+	running      [][]*runningTask // per-machine in-flight attempts
+	machineOrder []int            // heartbeat visit order, reshuffled per pass
+
+	// tkArena is the chunked attempt arena (newRunningTask): objects are
+	// handed out chunk-by-chunk and never recycled.
+	tkArena []runningTask
+	// shufBuf is the reusable shuffle-path buffer for StartPath (which
+	// interns paths and never retains the caller's slice).
+	shufBuf [3]topology.LinkID
 
 	// Attrition state: blacklisted machines keep their slots but receive
 	// no new attempts until the cooldown expires; machineFailures counts
@@ -405,6 +419,10 @@ type runtime struct {
 	active   int        // jobs not yet complete
 	swLoad   []int      // ShuffleWatcher: per-rack assigned-job count
 	coflowID netsim.CoflowID
+
+	// runnableJobs is dispatch's per-pass scratch: the byOrder subsequence
+	// with runnable tasks, rebuilt at the top of every dispatch.
+	runnableJobs []*jobExec
 
 	dispatchPending bool
 	retryPending    bool
@@ -501,12 +519,16 @@ func newRuntime(opts Options, jobs []*job.Job) (*runtime, error) {
 	if opts.InMemoryInput {
 		opts.OutputReplication = 1
 	}
-	// Default to the grouped fast-path allocator: bit-identical rates to
-	// MaxMinFair (see netsim/grouped.go) but stateful, so each run gets a
-	// fresh instance — required for parallel experiment sweeps.
+	if opts.FlowEpoch < 0 {
+		return nil, fmt.Errorf("runtime: negative flow epoch %g", opts.FlowEpoch)
+	}
+	// Default to the incremental fast-path allocator: bit-identical rates
+	// to MaxMinFair and GroupedMaxMin (see netsim/incremental.go) but
+	// stateful, so each run gets a fresh instance — required for parallel
+	// experiment sweeps.
 	netPolicy := opts.Network
 	if netPolicy == nil {
-		netPolicy = netsim.NewGroupedMaxMin()
+		netPolicy = netsim.NewIncrementalMaxMin()
 	}
 	sim := des.New()
 	// The one seeded RNG stream (shared with the DFS) draws through a
@@ -524,8 +546,15 @@ func newRuntime(opts Options, jobs []*job.Job) (*runtime, error) {
 		rngSrc:    rngSrc,
 		freeSlots: make([]int, m),
 		dead:      make([]bool, m),
-		running:   make(map[int][]*runningTask),
+		running:   make([][]*runningTask, m),
 		swLoad:    make([]int, cluster.Config.Racks),
+	}
+	// The runtime honors the pooling discipline (every *Flow reference is
+	// dropped in the done callback or cleared on abort), so retired flow
+	// objects are recycled instead of churning the GC.
+	rt.net.SetFlowPooling(true)
+	if opts.FlowEpoch > 0 {
+		rt.net.SetFlowEpoch(des.Time(opts.FlowEpoch))
 	}
 	rt.machineOrder = make([]int, m)
 	for i := range rt.freeSlots {
@@ -775,7 +804,7 @@ func (rt *runtime) finish() (*Result, error) {
 			CrossRackBytes: rt.net.CrossRackBytesByJob(je.job.ID),
 			TaskSeconds:    je.taskSeconds,
 			ReduceSeconds:  je.reduceSeconds,
-			RacksUsed:      len(je.racksTouched),
+			RacksUsed:      je.racksUsed,
 			Failed:         je.failed,
 			FailReason:     je.failReason,
 		}

@@ -35,6 +35,20 @@ func (rt *runtime) requestDispatch() {
 	})
 }
 
+// runnableTasks reports how many tasks the job could offer to a slot right
+// now: pending (unassigned) maps plus queued reduces across all stages.
+// Zero means a dispatch visit to this job is a guaranteed no-op — nothing
+// to pop, and the delay-scheduling decline path needs a pending map too.
+//
+//corral:hotpath
+func (je *jobExec) runnableTasks() int {
+	n := 0
+	for _, st := range je.stages {
+		n += st.pendingMapCount + len(st.reduceQ)
+	}
+	return n
+}
+
 // dispatch greedily fills free slots until no job accepts one. If jobs
 // declined slots waiting for locality, a heartbeat retry is scheduled —
 // that retry is when the delay-scheduling skip counters actually buy the
@@ -46,6 +60,20 @@ func (rt *runtime) requestDispatch() {
 // racks "for free".
 func (rt *runtime) dispatch() {
 	rt.declined = false
+	// One pass over the job list narrows the per-slot scan to jobs that can
+	// actually use a slot. Dispatch order is preserved (runnableJobs is a
+	// subsequence of byOrder) and the skipped jobs are exactly those whose
+	// offerSlotTo visit would have been a no-op, so assignments, skip
+	// counters and the rng stream are unchanged. Nothing dispatch launches
+	// can make a job runnable synchronously (all completions and stage
+	// transitions arrive as later events), so one snapshot per dispatch
+	// suffices; jobs draining to zero mid-pass are lazily skipped.
+	rt.runnableJobs = rt.runnableJobs[:0]
+	for _, je := range rt.byOrder {
+		if je.submitted && !je.done() && !je.amDown && je.runnableTasks() > 0 {
+			rt.runnableJobs = append(rt.runnableJobs, je)
+		}
+	}
 	for {
 		assigned := false
 		rt.shuffleMachineOrder()
@@ -93,10 +121,12 @@ func (rt *runtime) offerSlot(m int) bool {
 
 // offerSlotTo offers one slot on machine m to jobs in dispatch order that
 // match the filter (nil = all). It returns true if a task was launched.
+//
+//corral:hotpath
 func (rt *runtime) offerSlotTo(m int, filter func(*jobExec) bool) bool {
 	rack := rt.cluster.RackOf(m)
-	for _, je := range rt.byOrder {
-		if !je.submitted || je.done() || je.amDown {
+	for _, je := range rt.runnableJobs {
+		if je.done() || je.amDown || je.runnableTasks() == 0 {
 			continue
 		}
 		if filter != nil && !filter(je) {

@@ -230,6 +230,7 @@ func (rt *runtime) buildSpec() (snapshot.Spec, error) {
 		Topology:  o.Topology,
 		Scheduler: o.Scheduler.String(),
 		Policy:    policy,
+		FlowEpoch: o.FlowEpoch,
 		Seed:      o.Seed,
 		Plan:      o.Plan,
 
@@ -282,11 +283,15 @@ func (rt *runtime) buildSpec() (snapshot.Spec, error) {
 }
 
 // policyByName is the inverse of Policy.Name for the bundled policies.
-// "" selects the default (a fresh grouped max-min instance per run).
+// "" selects the default (a fresh incremental max-min instance per run —
+// bit-identical to the grouped and reference allocators, so snapshots
+// recorded under any earlier default resume equivalently).
 func policyByName(name string) (netsim.Policy, error) {
 	switch name {
 	case "":
 		return nil, nil
+	case "maxmin-incremental":
+		return netsim.NewIncrementalMaxMin(), nil
 	case "maxmin-grouped":
 		return netsim.NewGroupedMaxMin(), nil
 	case "maxmin":
@@ -311,6 +316,7 @@ func optionsFromSpec(spec *snapshot.Spec) (Options, []*job.Job, error) {
 		Topology:  spec.Topology,
 		Scheduler: kind,
 		Network:   policy,
+		FlowEpoch: spec.FlowEpoch,
 		Seed:      spec.Seed,
 		Plan:      spec.Plan,
 
@@ -491,10 +497,11 @@ func captureJob(je *jobExec) snapshot.JobState {
 		js.AssignedRacks = append([]int(nil), je.assignment.Racks...)
 		js.Priority = je.assignment.Priority
 	}
-	for rk := range je.racksTouched {
-		js.RacksTouched = append(js.RacksTouched, rk)
+	for rk, touched := range je.racksTouched {
+		if touched {
+			js.RacksTouched = append(js.RacksTouched, rk) // ascending by construction
+		}
 	}
-	sort.Ints(js.RacksTouched)
 	for _, st := range je.stages {
 		js.Stages = append(js.Stages, captureStage(st))
 	}

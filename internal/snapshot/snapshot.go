@@ -96,11 +96,17 @@ type Spec struct {
 	Topology  topology.Config
 	Scheduler string
 	// Policy names the bandwidth-sharing policy ("" selects the default
-	// grouped max-min allocator).
+	// incremental max-min allocator, bit-identical to the grouped and
+	// reference allocators).
 	Policy string
-	Seed   int64
-	Plan   *planner.Plan
-	Jobs   []*job.Job
+	// FlowEpoch batches flow-rate recomputations to multiples of this many
+	// simulated seconds (PR 9, additive). Pre-PR-9 snapshots decode this to
+	// zero — exact, unbatched recomputation — so old snapshots restore with
+	// unchanged semantics.
+	FlowEpoch float64
+	Seed      int64
+	Plan      *planner.Plan
+	Jobs      []*job.Job
 
 	BlockSize            float64
 	DelayNodeLocal       int

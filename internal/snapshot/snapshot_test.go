@@ -131,6 +131,9 @@ func TestPreOverloadSnapshotRestores(t *testing.T) {
 	if snap.Spec.PlannerBudget != 0 || snap.Spec.AdmissionLimit != 0 || snap.Spec.ReplanWindow != 0 {
 		t.Fatalf("pre-PR-8 spec decoded non-zero overload fields: %+v", snap.Spec)
 	}
+	if snap.Spec.FlowEpoch != 0 {
+		t.Fatalf("pre-PR-9 spec decoded non-zero FlowEpoch: %+v", snap.Spec)
+	}
 	topo := snap.Spec.Topology
 	mon := invariants.NewMonitor(topo.Machines(), topo.SlotsPerMachine)
 	res, err := runtime.Resume(snap, runtime.ResumeOptions{Probe: mon})

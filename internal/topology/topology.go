@@ -190,6 +190,26 @@ func (c *Cluster) Path(src, dst int) (path []LinkID, crossRack bool) {
 	}, true
 }
 
+// AppendPath is Path writing into a caller-provided buffer (truncated
+// first): the zero-allocation variant for hot callers that immediately
+// hand the path to Network.StartPath, which interns it and never retains
+// the buffer.
+func (c *Cluster) AppendPath(buf []LinkID, src, dst int) (path []LinkID, crossRack bool) {
+	buf = buf[:0]
+	if src == dst {
+		return buf, false
+	}
+	if c.SameRack(src, dst) {
+		return append(buf, c.machineUp[src], c.machineDown[dst]), false
+	}
+	return append(buf,
+		c.machineUp[src],
+		c.rackUp[c.RackOf(src)],
+		c.rackDown[c.RackOf(dst)],
+		c.machineDown[dst],
+	), true
+}
+
 // IsRackBoundary reports whether link id is a rack uplink or downlink.
 // The flow simulator uses this to account cross-rack bytes.
 func (c *Cluster) IsRackBoundary(id LinkID) bool {

@@ -94,19 +94,20 @@ trace-determinism:
 
 # Datacenter-scale gate: the 2k + 5k cells of the scale suite with full
 # verification (same-seed determinism rerun + mid-flight snapshot/resume
-# at every cell). corralsim exits non-zero on any verification failure;
-# the JSON report lands in scale-report.json (uploaded as a CI artifact
-# even on red).
+# + plan serial-equivalence and wall-clock budget at every cell).
+# corralsim exits non-zero on any verification failure; the JSON report
+# lands in scale-report.json (uploaded as a CI artifact even on red).
 scale:
 	$(GO) run ./cmd/corralsim -exp scale -size m -seed 1 -json > scale-report.json
 
-# Scale benchmark comparison: only the recompute micro-benchmarks and the
+# Scale benchmark comparison: the recompute micro-benchmarks, the
+# datacenter-scale planning benchmarks (2k + 10k cell shapes) and the
 # end-to-end scale sweep, diffed against the full committed baseline in
 # -subset mode (baseline-only entries are skipped, semantic drift and new
 # benchmarks still fail). `make bench` remains the only producer of
 # BENCH_baseline.json.
 scale-bench-compare:
-	$(GO) test -run '^$$' -bench 'BenchmarkScaleSweep' -benchtime 1x . \
+	$(GO) test -run '^$$' -bench 'BenchmarkScaleSweep|BenchmarkPlan2k|BenchmarkPlan10k' -benchtime 1x . \
 		| $(GO) run ./cmd/corralbench -o scale-fresh.json -compare BENCH_baseline.json -tol 50 -subset
 	$(GO) test -run '^$$' -bench 'BenchmarkRecompute' -benchtime 1x ./internal/netsim \
 		| $(GO) run ./cmd/corralbench -compare BENCH_baseline.json -tol 50 -subset

@@ -372,6 +372,38 @@ func BenchmarkSnapshotResume(b *testing.B) {
 	b.ReportMetric(res.Makespan, "makespan_s")
 }
 
+// Datacenter-scale planning benchmarks: one full two-phase plan over the
+// scale suite's 2k- and 10k-machine cell shapes (J·(R−1)+1 provisioning
+// candidates: ~9.8k at 2k machines, ~89.6k at 10k). ns/op is the headline
+// number the provisioning fast path is gated on (advisory, -tol percent);
+// the plan's objective value is republished as a semantic metric so any
+// change to planner *output* is pinned bit for bit.
+func benchPlan(b *testing.B, machines int) {
+	b.Helper()
+	cluster := corral.ClusterConfig{
+		Racks: machines / 40, MachinesPerRack: 40, SlotsPerMachine: 2,
+		NICBandwidth: 10e9 / 8, Oversubscription: 5,
+	}
+	jobs := corral.W1(corral.WorkloadConfig{
+		Seed: 1, Jobs: 160 + machines/50,
+		Scale: 1.0 / 8, TaskScale: 1.0 / 8,
+		ArrivalWindow: float64(machines) / 20,
+	})
+	b.ResetTimer()
+	var plan *corral.Plan
+	for i := 0; i < b.N; i++ {
+		var err error
+		plan, err = corral.PlanOnline(cluster, jobs)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(plan.AvgCompletion, "plan_objective_s")
+}
+
+func BenchmarkPlan2k(b *testing.B)  { benchPlan(b, 2000) }
+func BenchmarkPlan10k(b *testing.B) { benchPlan(b, 10000) }
+
 // BenchmarkScaleSweep runs the datacenter-scale fast-path suite end to end
 // (size s: the 2000-machine cell with its determinism and snapshot/resume
 // verification) and republishes its semantic outcomes. The wallclock_* keys
@@ -380,5 +412,5 @@ func BenchmarkSnapshotResume(b *testing.B) {
 func BenchmarkScaleSweep(b *testing.B) {
 	benchExperiment(b, "scale",
 		"machines_2000_events", "machines_2000_makespan", "machines_2000_jobs",
-		"cells", "verification_failures")
+		"machines_2000_plan_objective", "cells", "verification_failures")
 }

@@ -172,8 +172,9 @@ func main() {
 		return
 	}
 
-	// The scale suite exits non-zero when a cell's determinism or resume
-	// verification fails — that is the CI gate's red signal.
+	// The scale suite exits non-zero when a cell's determinism, resume or
+	// plan (serial-equivalence / wall-clock budget) verification fails —
+	// that is the CI gate's red signal.
 	if *machinesList != "" || *exp == "scale" {
 		sz, err := parseSize(*size)
 		if err != nil {
@@ -196,7 +197,7 @@ func main() {
 		}
 		if n := report.Values["verification_failures"]; n != 0 {
 			writeTrace()
-			fatal(fmt.Errorf("%g scale cells failed determinism/resume verification", n))
+			fatal(fmt.Errorf("%g scale cells failed determinism/resume/plan verification", n))
 		}
 		return
 	}

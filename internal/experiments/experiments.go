@@ -228,6 +228,16 @@ func (p profile) wcfg(seed int64, jobs int, window float64) workload.Config {
 
 // planJobs runs the offline planner for the given objective.
 func planJobs(topo topology.Config, jobs []*job.Job, obj planner.Objective) (*planner.Plan, error) {
+	return planJobsWith(topo, jobs, obj, false)
+}
+
+// planJobsSerial plans with the legacy serial provisioning engine — the
+// scale suite's plan-equivalence reference (bit-identical by contract).
+func planJobsSerial(topo topology.Config, jobs []*job.Job, obj planner.Objective) (*planner.Plan, error) {
+	return planJobsWith(topo, jobs, obj, true)
+}
+
+func planJobsWith(topo topology.Config, jobs []*job.Job, obj planner.Objective, serial bool) (*planner.Plan, error) {
 	var planned []*job.Job
 	for _, j := range jobs {
 		if !j.AdHoc {
@@ -239,6 +249,7 @@ func planJobs(topo topology.Config, jobs []*job.Job, obj planner.Objective) (*pl
 		Jobs:      planned,
 		Alpha:     -1,
 		Objective: obj,
+		Serial:    serial,
 	})
 }
 

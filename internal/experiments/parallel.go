@@ -19,6 +19,8 @@ import (
 	goruntime "runtime"
 	"sync"
 	"sync/atomic"
+
+	"corral/internal/planner"
 )
 
 // sweepWorkers is the configured worker bound; <=0 means GOMAXPROCS.
@@ -26,8 +28,12 @@ var sweepWorkers atomic.Int64
 
 // SetSweepWorkers bounds the worker pool used by experiment sweeps. n <= 0
 // restores the default (GOMAXPROCS); n == 1 forces serial execution. The
-// setting changes wall-clock only, never results.
-func SetSweepWorkers(n int) { sweepWorkers.Store(int64(n)) }
+// setting changes wall-clock only, never results. The bound is forwarded
+// to the planner's provisioning pool so one -workers flag governs both.
+func SetSweepWorkers(n int) {
+	sweepWorkers.Store(int64(n))
+	planner.SetWorkers(n)
+}
 
 // SweepWorkers reports the current effective worker bound.
 func SweepWorkers() int {

@@ -17,12 +17,26 @@ package experiments
 //     and the resumed Result must again be bit-identical (the PR 7
 //     crash-resume contract).
 //
-// Determinism obligations: all semantic outputs (Result fields, job counts,
-// verification verdicts) are pure functions of ScaleParams. Wall-clock,
-// allocation and events/sec figures are measurements of the host machine
-// and are exported only under "wallclock_"-prefixed report keys, which the
-// determinism tests and CI comparisons exclude by convention (the same
-// split planning.go uses for Fig 5 planner running times).
+//   - Plan equivalence: for cells small enough to afford it, the offline
+//     plan is recomputed with the legacy serial provisioning engine
+//     (planner.Input.Serial) and must be DeepEqual to the fast path's —
+//     the provisioning fast path's bit-identity contract, re-proven at
+//     scale-suite shapes on every CI run.
+//
+// Plan wall-clock is a first-class gated metric: each cell carries a
+// generous per-cell budget (planBudgetSeconds, ~15× above measured fast-
+// path times) and a cell whose plan exceeds it fails verification. This is
+// the one deliberately host-dependent verdict — it exists to catch a
+// regression to pre-fast-path planning times (~80 s per 10k plan), which
+// no bit-exact comparison can see.
+//
+// Determinism obligations: all other semantic outputs (Result fields, job
+// counts, the remaining verification verdicts) are pure functions of
+// ScaleParams. Wall-clock, allocation and events/sec figures are
+// measurements of the host machine and are exported only under
+// "wallclock_"-prefixed report keys, which the determinism tests and CI
+// comparisons exclude by convention (the same split planning.go uses for
+// Fig 5 planner running times).
 
 import (
 	"fmt"
@@ -80,10 +94,17 @@ type ScaleCell struct {
 	Racks    int
 	Jobs     int
 	Result   *runtime.Result
+	// PlanObjective is the offline plan's estimated objective value — a
+	// pure function of the cell parameters, exported as a semantic key so
+	// any change to planner output shows up as gated drift.
+	PlanObjective float64
 
 	// Verification verdicts (true when SkipVerify is set: nothing failed).
+	// PlanOK covers both the serial-equivalence check (cells up to
+	// scalePlanEquivMachines) and the plan wall-clock budget.
 	DeterminismOK bool
 	ResumeOK      bool
+	PlanOK        bool
 	Detail        string // first divergence when a verdict is false
 
 	// Host measurements — excluded from determinism comparisons.
@@ -99,16 +120,32 @@ type ScaleReport struct {
 	Cells []ScaleCell
 }
 
-// Failures returns the cells whose determinism or resume check failed.
+// Failures returns the cells whose determinism, resume or plan check
+// failed.
 func (r *ScaleReport) Failures() []string {
 	var out []string
 	for _, c := range r.Cells {
-		if !c.DeterminismOK || !c.ResumeOK {
+		if !c.DeterminismOK || !c.ResumeOK || !c.PlanOK {
 			out = append(out, fmt.Sprintf("%d machines: %s", c.Machines, c.Detail))
 		}
 	}
 	return out
 }
+
+// scalePlanEquivMachines caps the cells that rerun provisioning with the
+// legacy serial engine for the plan-equivalence check: the serial engine
+// is exactly what the fast path replaced (~1 s per 2k plan, ~80 s per 10k
+// plan), so re-proving bit-identity on every run is only affordable on
+// the small cell. Larger cells rely on the budget gate plus the planner's
+// own differential fuzz tests.
+const scalePlanEquivMachines = 2000
+
+// planBudgetSeconds is the per-cell plan wall-clock gate: machines/4000
+// seconds (0.5 s at 2k, 2.5 s at 10k) — roughly 15× above measured
+// fast-path times on a developer machine and far below the pre-fast-path
+// serial engine (~1 s at 2k, ~80 s at 10k), so a regression to serial
+// provisioning trips it even on a much faster host.
+func planBudgetSeconds(machines int) float64 { return float64(machines) / 4000 }
 
 // scaleTopo builds the synthetic cluster for one cell: machines/40 racks of
 // 40 machines, 2 slots each, 10 Gbps NICs at 5:1 oversubscription.
@@ -174,6 +211,7 @@ func runScaleCell(p ScaleParams, machines int) (ScaleCell, error) {
 		return cell, fmt.Errorf("scale %d machines: plan: %w", machines, err)
 	}
 	cell.PlanSeconds = time.Since(planStart).Seconds() //corralvet:ok wallclock the scale suite measures the planner's real running time per cell
+	cell.PlanObjective = plan.ObjectiveValue()
 
 	opts := func() (runtime.Options, error) {
 		pol, err := scalePolicy(p.Network)
@@ -212,16 +250,25 @@ func runScaleCell(p ScaleParams, machines int) (ScaleCell, error) {
 		cell.EventsPerSec = float64(res.Events) / cell.WallSeconds
 	}
 
-	cell.DeterminismOK, cell.ResumeOK = true, true
+	cell.DeterminismOK, cell.ResumeOK, cell.PlanOK = true, true, true
 	if p.SkipVerify {
 		return cell, nil
+	}
+
+	// Plan wall-clock budget: the deliberately host-dependent gate (see
+	// the package comment) that catches a regression to pre-fast-path
+	// planning times.
+	if budget := planBudgetSeconds(machines); cell.PlanSeconds > budget {
+		cell.PlanOK = false
+		cell.Detail = fmt.Sprintf("plan took %.2fs, budget %.2fs (fast-path regression?)",
+			cell.PlanSeconds, budget)
 	}
 
 	// Verification passes are independent of each other, so they fan out
 	// over the sweep pool; each writes only its own index-addressed detail
 	// slot (sweepsafe), merged serially below.
-	details := make([]string, 2)
-	if err := parallelFor(2, func(i int) error {
+	details := make([]string, 3)
+	if err := parallelFor(3, func(i int) error {
 		o, err := opts()
 		if err != nil {
 			return err
@@ -259,6 +306,18 @@ func runScaleCell(p ScaleParams, machines int) (ScaleCell, error) {
 				details[i] = fmt.Sprintf("resumed Result diverged (makespan %.6f vs %.6f)",
 					resumed.Makespan, res.Makespan)
 			}
+		case 2: // plan equivalence: fast path vs legacy serial provisioning
+			if machines > scalePlanEquivMachines {
+				return nil
+			}
+			serial, err := planJobsSerial(topo, jobs, planner.MinimizeAvgCompletion)
+			if err != nil {
+				return fmt.Errorf("scale %d machines: serial plan: %w", machines, err)
+			}
+			if !reflect.DeepEqual(serial, plan) {
+				details[i] = fmt.Sprintf("fast-path plan diverged from serial reference (objective %.6f vs %.6f)",
+					plan.ObjectiveValue(), serial.ObjectiveValue())
+			}
 		}
 		return nil
 	}); err != nil {
@@ -271,6 +330,12 @@ func runScaleCell(p ScaleParams, machines int) (ScaleCell, error) {
 		cell.ResumeOK = false
 		if cell.Detail == "" {
 			cell.Detail = details[1]
+		}
+	}
+	if details[2] != "" {
+		cell.PlanOK = false
+		if cell.Detail == "" {
+			cell.Detail = details[2]
 		}
 	}
 	return cell, nil
@@ -308,8 +373,8 @@ func ScaleWithMachines(p Params, machines []int) (*Report, error) {
 	}
 	r := newReport("scale: datacenter-scale fast path (wall-clock, allocs, events/sec)")
 	t := &metrics.Table{
-		Title:   "online W1 stream under Corral; verification = same-seed rerun + mid-flight snapshot/resume",
-		Columns: []string{"machines", "racks", "jobs", "events", "makespan (s)", "plan (s)", "wall (s)", "ev/s", "allocs/ev", "deterministic", "resume"},
+		Title:   "online W1 stream under Corral; verification = same-seed rerun + mid-flight snapshot/resume + plan serial-equivalence/budget",
+		Columns: []string{"machines", "racks", "jobs", "events", "makespan (s)", "plan (s)", "wall (s)", "ev/s", "allocs/ev", "deterministic", "resume", "plan ok"},
 	}
 	verdict := func(ok bool, detail string) string {
 		if ok {
@@ -329,8 +394,9 @@ func ScaleWithMachines(p Params, machines []int) (*Report, error) {
 			fmt.Sprintf("%d", res.Events), metrics.F(res.Makespan, 2),
 			metrics.F(c.PlanSeconds, 2), metrics.F(c.WallSeconds, 2),
 			metrics.F(c.EventsPerSec, 0), metrics.F(allocsPerEv, 1),
-			verdict(c.DeterminismOK, c.Detail), verdict(c.ResumeOK, c.Detail))
-		if !c.DeterminismOK || !c.ResumeOK {
+			verdict(c.DeterminismOK, c.Detail), verdict(c.ResumeOK, c.Detail),
+			verdict(c.PlanOK, c.Detail))
+		if !c.DeterminismOK || !c.ResumeOK || !c.PlanOK {
 			failures++
 		}
 		// Semantic keys: pure functions of (Size, Seed, Machines).
@@ -338,6 +404,7 @@ func ScaleWithMachines(p Params, machines []int) (*Report, error) {
 		r.set(fmt.Sprintf("machines_%d_makespan", c.Machines), res.Makespan)
 		r.set(fmt.Sprintf("machines_%d_jobs", c.Machines), float64(c.Jobs))
 		r.set(fmt.Sprintf("machines_%d_failed_jobs", c.Machines), float64(res.FailedJobs))
+		r.set(fmt.Sprintf("machines_%d_plan_objective", c.Machines), c.PlanObjective)
 		// Host measurements: wallclock_ prefix keeps them out of
 		// determinism comparisons and CI metric gates.
 		r.set(fmt.Sprintf("wallclock_%d_seconds", c.Machines), c.WallSeconds)

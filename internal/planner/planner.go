@@ -10,6 +10,11 @@
 //     with the longest estimated latency by one rack until every job spans
 //     the whole cluster. Each of the J·R intermediate allocations is
 //     evaluated with the prioritization phase, and the best one wins.
+//     At datacenter scale this phase dominates planning wall-clock, so it
+//     has a fast engine (provision.go: precomputed widening chain,
+//     parallel candidate evaluation, group-compressed objective) that is
+//     bit-identical to the straightforward serial loop kept as the
+//     differential reference behind Input.Serial.
 //
 //   - Prioritization (Fig 4): an extension of LPT/LIST scheduling. Jobs
 //     are sorted (batch: widest first, then longest; online: by arrival,
@@ -21,7 +26,7 @@
 //
 // Determinism obligations: a plan is a pure function of the jobs and
 // cluster — sorts are total orders with id tie-breaks, and no randomness,
-// wall-clock time or map-iteration order feeds the result.
+// wall-clock time, worker count or map-iteration order feeds the result.
 package planner
 
 import (
@@ -62,6 +67,11 @@ type Input struct {
 	// disables the penalty.
 	Alpha     float64
 	Objective Objective
+	// Serial selects the legacy serial provisioning engine (one full
+	// prioritization run per candidate allocation). It exists as the
+	// differential-test reference for the fast path and produces
+	// bit-identical plans; leave it false outside tests.
+	Serial bool
 	// Trace, if set, receives plan_start/plan_assign/plan_done events for
 	// this invocation. When nil, New and Replan ask the process-wide trace
 	// collector for a run tracer (nil again keeps tracing disabled).
@@ -130,17 +140,32 @@ func (p *Plan) ObjectiveValue() float64 {
 
 // New runs the full two-phase planning algorithm.
 func New(in Input) (*Plan, error) {
-	J := len(in.Jobs)
-	R := in.Cluster.Racks
-	if R <= 0 {
-		return nil, fmt.Errorf("planner: cluster has %d racks", R)
+	if in.Cluster.Racks <= 0 {
+		return nil, fmt.Errorf("planner: cluster has %d racks", in.Cluster.Racks)
 	}
+	return planTwoPhase(in, in.TraceTime, nil)
+}
+
+// planTwoPhase is the shared core behind New, Replan and the public
+// wrappers: validate, provision (fast or serial per Input.Serial), run the
+// final prioritization, materialize. initF seeds per-rack availability
+// times (Replan commitments); nil means every rack free at time zero. now
+// stamps trace events.
+func planTwoPhase(in Input, now float64, initF []float64) (*Plan, error) {
+	J := len(in.Jobs)
 	plan := &Plan{Assignments: make(map[int]*Assignment, J), Objective: in.Objective}
 	if J == 0 {
 		return plan, nil
 	}
+	// Validate every job before emitting plan_start so a rejected input
+	// cannot leave an unbalanced trace (plan_start with no plan_done).
+	for _, j := range in.Jobs {
+		if err := j.Validate(); err != nil {
+			return nil, err
+		}
+	}
 	tr := in.tracer()
-	tr.PlanStart(in.TraceTime, J, in.Objective.String())
+	tr.PlanStart(now, J, in.Objective.String())
 	alpha := in.Alpha
 	if alpha < 0 {
 		alpha = in.Cluster.DefaultAlpha()
@@ -149,52 +174,21 @@ func New(in Input) (*Plan, error) {
 	// Precompute response functions.
 	resp := make([]model.ResponseFunc, J)
 	for i, j := range in.Jobs {
-		if err := j.Validate(); err != nil {
-			return nil, err
-		}
 		resp[i] = in.Cluster.Response(j, alpha)
 	}
 
-	// Provisioning phase: explore the J·R allocation prefix chain.
-	rj := make([]int, J)
-	for i := range rj {
-		rj[i] = 1
-	}
+	// Provisioning phase: explore the J·(R−1)+1 allocation prefix chain.
+	bestRj := provision(in, resp, initF)
+
+	// Materialize the winning schedule with one final prioritization run.
 	sched := newScheduler(in, resp)
-
-	bestObj := sched.run(rj).objective(in.Objective)
-	bestRj := append([]int(nil), rj...)
-
-	for {
-		// Widen the longest job that is not yet cluster-wide.
-		longest, longestLat := -1, -1.0
-		for i := range rj {
-			if rj[i] >= R {
-				continue
-			}
-			if l := resp[i].At(rj[i]); l > longestLat {
-				longest, longestLat = i, l
-			}
-		}
-		if longest == -1 {
-			break
-		}
-		rj[longest]++
-		if obj := sched.run(rj).objective(in.Objective); obj < bestObj {
-			bestObj = obj
-			copy(bestRj, rj)
-		}
-	}
-
-	// Materialize the winning schedule.
+	sched.initF = initF
 	final := sched.run(bestRj)
-	order := make([]int, J)
-	copy(order, final.order)
-	for rank, idx := range order {
+	for rank, idx := range final.order {
 		j := in.Jobs[idx]
 		plan.Assignments[j.ID] = &Assignment{
 			JobID:      j.ID,
-			Racks:      final.racks[idx],
+			Racks:      append([]int(nil), final.racks[idx]...),
 			Start:      final.start[idx],
 			Priority:   rank,
 			EstLatency: resp[idx].At(bestRj[idx]),
@@ -202,7 +196,7 @@ func New(in Input) (*Plan, error) {
 	}
 	plan.Makespan = final.makespan
 	plan.AvgCompletion = final.avgCompletion
-	traceAssignments(tr, in.TraceTime, plan)
+	traceAssignments(tr, now, plan)
 	return plan, nil
 }
 
@@ -222,8 +216,10 @@ func (r *schedResult) objective(o Objective) float64 {
 	return r.avgCompletion
 }
 
-// scheduler holds reusable buffers for repeated prioritization runs; the
-// provisioning phase calls run J·R times.
+// scheduler holds reusable buffers for repeated prioritization runs. The
+// serial provisioning engine calls run once per candidate; the fast path
+// only uses it for the single materializing run (candidate objectives go
+// through the group-compressed evaluator in provision.go instead).
 type scheduler struct {
 	in   Input
 	resp []model.ResponseFunc
@@ -267,36 +263,16 @@ func newScheduler(in Input, resp []model.ResponseFunc) *scheduler {
 func (s *scheduler) run(rj []int) *schedResult {
 	in := s.in
 	J := len(in.Jobs)
+	online := in.Objective == MinimizeAvgCompletion
 
-	// Sort and re-index jobs per scenario.
+	// Sort and re-index jobs per scenario; jobLess (provision.go) is the
+	// single prioritization order shared with the fast-path evaluator.
 	for i := range s.order {
 		s.order[i] = i
 	}
-	batchLess := func(a, b int) bool {
-		// Widest-job first; ties by longest processing time; final tie by
-		// ID for determinism.
-		if rj[a] != rj[b] {
-			return rj[a] > rj[b]
-		}
-		la, lb := s.resp[a].At(rj[a]), s.resp[b].At(rj[b])
-		if la != lb {
-			return la > lb
-		}
-		return in.Jobs[a].ID < in.Jobs[b].ID
-	}
-	if in.Objective == MinimizeAvgCompletion {
-		sort.SliceStable(s.order, func(x, y int) bool {
-			a, b := s.order[x], s.order[y]
-			if in.Jobs[a].Arrival != in.Jobs[b].Arrival {
-				return in.Jobs[a].Arrival < in.Jobs[b].Arrival
-			}
-			return batchLess(a, b)
-		})
-	} else {
-		sort.SliceStable(s.order, func(x, y int) bool {
-			return batchLess(s.order[x], s.order[y])
-		})
-	}
+	sort.SliceStable(s.order, func(x, y int) bool {
+		return jobLess(online, in.Jobs, s.resp, rj, s.order[x], s.order[y])
+	})
 
 	for i := range s.rackF {
 		f := 0.0
@@ -368,8 +344,9 @@ func (s *scheduler) rebuildRackF(k int, finish float64) {
 	// Collect the k reassigned racks, keeping id order (they share F).
 	// ids are unique, so the comparator is a strict total order and the
 	// reflection-free generic sort produces the identical permutation the
-	// old sort.Slice did — this is the planner's hottest line at datacenter
-	// scale (called once per placed job, J times per candidate allocation).
+	// old sort.Slice did — this was the planner's hottest line at
+	// datacenter scale until the fast-path evaluator (provision.go) took
+	// candidate evaluation off this code path.
 	reassigned := s.buf[:0]
 	for i := 0; i < k; i++ {
 		reassigned = append(reassigned, rackState{f: finish, id: s.rackF[i].id})

@@ -1,0 +1,443 @@
+package planner
+
+// Provisioning fast path. The §4.2 provisioning phase explores a chain of
+// J·(R−1)+1 candidate allocations — start every job at one rack, then
+// repeatedly widen the job with the longest current estimate — and keeps
+// the candidate whose prioritization objective is smallest. Two structural
+// facts make this chain cheap to evaluate at datacenter scale without
+// changing a single output bit:
+//
+//  1. The chain itself never looks at the prioritization results: the job
+//     to widen next is chosen purely from resp[i].At(rj[i]), which depends
+//     only on the widths so far. The whole chain can therefore be
+//     precomputed up front (buildChain) and the candidate evaluations
+//     fanned out over a bounded work-stealing pool (the
+//     experiments/parallel.go pattern), with a serial index-order argmin
+//     afterwards — the strict `<` of the legacy loop — so the winner is
+//     identical for any worker count.
+//
+//  2. Consecutive candidates differ in exactly one job's width, so a
+//     worker walking a contiguous block of the chain can maintain the
+//     prioritization sort order incrementally (one-element reposition
+//     instead of a full J·log J re-sort), and a candidate's objective
+//     needs no materialized rack sets at all: the start time of a job is
+//     the k-th smallest rack-availability time, which depends only on the
+//     sorted *multiset* of times — never on which rack holds one. The
+//     evaluator therefore group-compresses rack availability into sorted
+//     (time, count) runs, replacing the legacy scheduler's O(R)-per-job
+//     flat merge and per-job rack-set sort with a few group operations.
+//
+// The legacy serial path (provisionSerial: the scheduler evaluated once
+// per candidate, exactly the pre-fast-path code) stays as the
+// differential-test reference — the MaxMinFair-vs-GroupedMaxMin playbook:
+// TestProvisionFastMatchesSerial proves the two produce DeepEqual plans
+// across seeded random workloads, objectives and commitments.
+//
+// Determinism obligations: candidate objectives are pure functions of
+// (jobs, cluster, widths); block decomposition and worker scheduling feed
+// neither the values nor the reduction order.
+
+import (
+	goruntime "runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"corral/internal/job"
+	"corral/internal/model"
+)
+
+// planWorkersBound is the configured provisioning worker bound; <= 0
+// means GOMAXPROCS.
+var planWorkersBound atomic.Int64
+
+// SetWorkers bounds the worker pool the provisioning fast path fans
+// candidate evaluations over. n <= 0 restores the default (GOMAXPROCS);
+// n == 1 forces serial evaluation. The setting changes wall-clock only,
+// never results (TestProvisionWorkerCountInvariance).
+func SetWorkers(n int) { planWorkersBound.Store(int64(n)) }
+
+// Workers reports the current effective provisioning worker bound.
+func Workers() int {
+	if n := int(planWorkersBound.Load()); n > 0 {
+		return n
+	}
+	return goruntime.GOMAXPROCS(0)
+}
+
+// parallelFor runs fn(0..n-1) across the provisioning worker pool. fn
+// must confine its writes to block i's own index-addressed state; any
+// shared reduction belongs after parallelFor returns (the same contract
+// corralvet's sweepsafe check enforces on experiments.parallelFor).
+func parallelFor(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// buildChain replays the widening rule without evaluating any candidate:
+// chain[t] is the job widened to produce candidate t+1 (candidate 0 is
+// all-ones). The rule is verbatim the legacy loop's — widen the job with
+// the longest current estimate among those not yet cluster-wide, first
+// index on ties — so the precomputed chain visits exactly the allocations
+// the serial path visits, in the same order.
+func buildChain(resp []model.ResponseFunc, J, R int) []int {
+	chain := make([]int, 0, J*(R-1))
+	rj := make([]int, J)
+	for i := range rj {
+		rj[i] = 1
+	}
+	for {
+		longest, longestLat := -1, -1.0
+		for i := range rj {
+			if rj[i] >= R {
+				continue
+			}
+			if l := resp[i].At(rj[i]); l > longestLat {
+				longest, longestLat = i, l
+			}
+		}
+		if longest == -1 {
+			break
+		}
+		rj[longest]++
+		chain = append(chain, longest)
+	}
+	return chain
+}
+
+// fGroup is a maximal run of racks sharing one availability time in the
+// sorted rack-availability sequence.
+type fGroup struct {
+	f float64 // availability time
+	n int     // racks carrying it
+}
+
+// groupsFromInitF compresses an initial rack-availability vector into
+// sorted (time, count) runs. nil (New: every rack free at 0) is a single
+// group spanning the cluster.
+func groupsFromInitF(initF []float64, R int) []fGroup {
+	if initF == nil {
+		return []fGroup{{f: 0, n: R}}
+	}
+	fs := append([]float64(nil), initF...)
+	sort.Float64s(fs)
+	groups := make([]fGroup, 0, 8)
+	for _, f := range fs {
+		//corralvet:ok floateq exact identity intended: bit-equal availability times collapse into one group; any difference, however small, starts a new run
+		if n := len(groups); n > 0 && groups[n-1].f == f {
+			groups[n-1].n++
+		} else {
+			groups = append(groups, fGroup{f: f, n: 1})
+		}
+	}
+	return groups
+}
+
+// jobLess is the prioritization order (Fig 4) shared by the legacy
+// scheduler's full sort, the evaluator's block-entry sort and the
+// incremental reposition: online orders by arrival first; both scenarios
+// then take widest-first, longest-first, with the job ID as the final
+// tie-break. The ID step makes this a strict total order, so any valid
+// sort — full, stable or binary-search reinsertion — produces the one
+// identical permutation.
+func jobLess(online bool, jobs []*job.Job, resp []model.ResponseFunc, rj []int, a, b int) bool {
+	if online {
+		//corralvet:ok floateq exact identity intended: sort key comparison — any arrival difference, however small, orders the jobs; ties fall through
+		if jobs[a].Arrival != jobs[b].Arrival {
+			return jobs[a].Arrival < jobs[b].Arrival
+		}
+	}
+	if rj[a] != rj[b] {
+		return rj[a] > rj[b]
+	}
+	la, lb := resp[a].At(rj[a]), resp[b].At(rj[b])
+	//corralvet:ok floateq exact identity intended: sort key comparison — any latency difference, however small, orders the jobs; ties fall through to the ID tie-break
+	if la != lb {
+		return la > lb
+	}
+	return jobs[a].ID < jobs[b].ID
+}
+
+// evaluator computes one candidate objective per call, reusing per-worker
+// scratch so steady-state evaluation allocates nothing (pinned by
+// TestEvaluatorSteadyStateZeroAlloc and corralvet's hotalloc check via
+// the //corral:hotpath markers).
+type evaluator struct {
+	jobs       []*job.Job
+	resp       []model.ResponseFunc
+	online     bool
+	rj         []int
+	order      []int // job indices in prioritization order, maintained incrementally
+	initGroups []fGroup
+	groups     []fGroup // scratch: rack availability as sorted (time, count) runs
+}
+
+func newEvaluator(in Input, resp []model.ResponseFunc, initGroups []fGroup) *evaluator {
+	J := len(in.Jobs)
+	return &evaluator{
+		jobs:       in.Jobs,
+		resp:       resp,
+		online:     in.Objective == MinimizeAvgCompletion,
+		rj:         make([]int, J),
+		order:      make([]int, J),
+		initGroups: initGroups,
+		groups:     make([]fGroup, len(initGroups)+J+1),
+	}
+}
+
+// reset seeds the evaluator at the candidate with widths rj: one full
+// stable sort at block entry; widen maintains the order incrementally
+// from there.
+func (e *evaluator) reset(rj []int) {
+	copy(e.rj, rj)
+	for i := range e.order {
+		e.order[i] = i
+	}
+	sort.SliceStable(e.order, func(x, y int) bool {
+		return jobLess(e.online, e.jobs, e.resp, e.rj, e.order[x], e.order[y])
+	})
+}
+
+// widen applies rj[w]++ and repositions w in the prioritization order: a
+// one-element deletion plus binary-search reinsertion (an O(J) memmove)
+// in place of the full J·log J re-sort — consecutive provisioning
+// candidates differ in exactly this one key, and jobLess is a strict
+// total order, so the repositioned sequence is the unique sorted
+// permutation the full sort would produce.
+//
+//corral:hotpath widen runs once per provisioning candidate, J·(R−1) times per plan.
+func (e *evaluator) widen(w int) {
+	e.rj[w]++
+	order := e.order
+	J := len(order)
+	i := 0
+	for order[i] != w {
+		i++
+	}
+	copy(order[i:], order[i+1:])
+	rest := order[:J-1]
+	lo, hi := 0, len(rest)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if jobLess(e.online, e.jobs, e.resp, e.rj, w, rest[mid]) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	copy(order[lo+1:], order[lo:J-1])
+	order[lo] = w
+}
+
+// objective runs one prioritization pass over the current widths and
+// returns the candidate's objective value, bit-identical to
+// scheduler.run(rj).objective(in.Objective).
+//
+// Bit-identity argument: a job's start time is the k-th smallest rack
+// availability (legacy: rackF[k-1].f), which depends only on the sorted
+// multiset of availability times, never on which rack carries one — and
+// the k earliest racks all adopt the same finish time. So the multiset
+// evolves identically whether tracked as the legacy flat (time, rackID)
+// sequence or as compressed (time, count) runs, and rack identities can
+// be dropped entirely: finish = max(start, arrival) + lat, makespan and
+// the completion sum accumulate over the same job order with the same
+// float operations. Equal-time runs merge; where the legacy flat list
+// interleaves equal-time racks by ID, any prefix drawn from the combined
+// run removes the same multiset of times regardless of the interleaving.
+//
+//corral:hotpath objective runs once per provisioning candidate, J·(R−1)+1 times per plan.
+func (e *evaluator) objective() float64 {
+	groups := e.groups[:len(e.initGroups)]
+	copy(groups, e.initGroups)
+	head := 0 // groups[head:] is live; the prefix is consumed scratch
+	makespan, sum := 0.0, 0.0
+	for _, idx := range e.order {
+		k := e.rj[idx]
+		lat := e.resp[idx].At(k)
+		arr := 0.0
+		if e.online {
+			arr = e.jobs[idx].Arrival
+		}
+		// start = availability of the k-th earliest rack: walk the runs.
+		need := k
+		gi := head
+		for groups[gi].n < need {
+			need -= groups[gi].n
+			gi++
+		}
+		start := groups[gi].f
+		if arr > start {
+			start = arr
+		}
+		finish := start + lat
+		// Consume the k earliest racks: drop whole runs, shrink the last.
+		groups[gi].n -= need
+		if groups[gi].n == 0 {
+			gi++
+		}
+		head = gi
+		// Reinsert them as one run at finish, keeping groups sorted.
+		lo, hi := head, len(groups)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if groups[mid].f > finish {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		//corralvet:ok floateq exact identity intended: a run carrying the bit-identical finish time absorbs the reassigned racks; rack identities never reach the objective
+		if lo > head && groups[lo-1].f == finish {
+			groups[lo-1].n += k
+		} else if head > 0 {
+			// Slide the (short) live prefix left into the consumed slot.
+			copy(groups[head-1:], groups[head:lo])
+			groups[lo-1] = fGroup{f: finish, n: k}
+			head--
+		} else {
+			// No consumed slot free: grow at the tail.
+			groups = groups[:len(groups)+1]
+			copy(groups[lo+1:], groups[lo:len(groups)-1])
+			groups[lo] = fGroup{f: finish, n: k}
+		}
+		if finish > makespan {
+			makespan = finish
+		}
+		sum += finish - arr
+	}
+	if e.online {
+		return sum / float64(len(e.jobs))
+	}
+	return makespan
+}
+
+// provision explores the widening chain and returns the best widths
+// vector. Input.Serial selects the legacy reference engine.
+func provision(in Input, resp []model.ResponseFunc, initF []float64) []int {
+	if in.Serial {
+		return provisionSerial(in, resp, initF)
+	}
+	return provisionFast(in, resp, initF)
+}
+
+// provisionFast is the parallel/incremental engine: precompute the chain,
+// fan contiguous candidate blocks over the worker pool (each block with
+// its own evaluator scratch), then take the serial index-order argmin —
+// the legacy loop's strict `<` update rule, so the earliest candidate
+// wins ties and the result is worker-count-invariant.
+func provisionFast(in Input, resp []model.ResponseFunc, initF []float64) []int {
+	J, R := len(in.Jobs), in.Cluster.Racks
+	chain := buildChain(resp, J, R)
+	C := len(chain) + 1
+	initGroups := groupsFromInitF(initF, R)
+	objs := make([]float64, C)
+
+	// Contiguous blocks amortize the block-entry sort and width replay;
+	// a few blocks per worker keeps the stealing pool balanced. Block
+	// geometry affects wall-clock only: every objs[t] is a pure function
+	// of candidate t.
+	nb := Workers() * 4
+	if nb > C {
+		nb = C
+	}
+	if nb < 1 {
+		nb = 1
+	}
+	parallelFor(nb, func(b int) {
+		lo, hi := b*C/nb, (b+1)*C/nb
+		out := objs[lo:hi] // this block's own slots
+		ev := newEvaluator(in, resp, initGroups)
+		rj := make([]int, J)
+		for i := range rj {
+			rj[i] = 1
+		}
+		for t := 0; t < lo; t++ {
+			rj[chain[t]]++
+		}
+		ev.reset(rj)
+		out[0] = ev.objective()
+		for t := lo + 1; t < hi; t++ {
+			ev.widen(chain[t-1])
+			out[t-lo] = ev.objective()
+		}
+	})
+
+	best := 0
+	for t := 1; t < C; t++ {
+		if objs[t] < objs[best] {
+			best = t
+		}
+	}
+	bestRj := make([]int, J)
+	for i := range bestRj {
+		bestRj[i] = 1
+	}
+	for t := 0; t < best; t++ {
+		bestRj[chain[t]]++
+	}
+	return bestRj
+}
+
+// provisionSerial is the legacy engine, kept verbatim as the differential
+// reference: one scheduler, every candidate evaluated in chain order with
+// a full prioritization run, best kept under strict `<`.
+func provisionSerial(in Input, resp []model.ResponseFunc, initF []float64) []int {
+	R := in.Cluster.Racks
+	rj := make([]int, len(in.Jobs))
+	for i := range rj {
+		rj[i] = 1
+	}
+	sched := newScheduler(in, resp)
+	sched.initF = initF
+
+	bestObj := sched.run(rj).objective(in.Objective)
+	bestRj := append([]int(nil), rj...)
+	for {
+		// Widen the longest job that is not yet cluster-wide.
+		longest, longestLat := -1, -1.0
+		for i := range rj {
+			if rj[i] >= R {
+				continue
+			}
+			if l := resp[i].At(rj[i]); l > longestLat {
+				longest, longestLat = i, l
+			}
+		}
+		if longest == -1 {
+			break
+		}
+		rj[longest]++
+		if obj := sched.run(rj).objective(in.Objective); obj < bestObj {
+			bestObj = obj
+			copy(bestRj, rj)
+		}
+	}
+	return bestRj
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 
+	"corral/internal/job"
 	"corral/internal/model"
 )
 
@@ -25,16 +26,11 @@ type Commitment struct {
 	Until float64
 }
 
-// Replan runs the two-phase planning algorithm for the given (pending)
-// jobs at time now, honoring commitments from in-flight work. Arrival
-// times earlier than now are clamped to now.
-func Replan(in Input, now float64, commitments []Commitment) (*Plan, error) {
-	J := len(in.Jobs)
-	R := in.Cluster.Racks
-	if R <= 0 {
-		return nil, fmt.Errorf("planner: cluster has %d racks", R)
-	}
-	// Initial rack availability from commitments.
+// commitmentAvailability builds the per-rack initial availability vector:
+// every rack free at now, pushed later by any commitment covering it.
+// Rack indices are validated here — before any job-count early return —
+// so an out-of-range commitment is reported even for an empty replan.
+func commitmentAvailability(R int, now float64, commitments []Commitment) ([]float64, error) {
 	initF := make([]float64, R)
 	for i := range initF {
 		initF[i] = now
@@ -49,74 +45,47 @@ func Replan(in Input, now float64, commitments []Commitment) (*Plan, error) {
 			}
 		}
 	}
+	return initF, nil
+}
 
-	plan := &Plan{Assignments: make(map[int]*Assignment, J), Objective: in.Objective}
-	if J == 0 {
-		return plan, nil
-	}
-	tr := in.tracer()
-	tr.PlanStart(now, J, in.Objective.String())
-	alpha := in.Alpha
-	if alpha < 0 {
-		alpha = in.Cluster.DefaultAlpha()
-	}
-	resp := make([]model.ResponseFunc, J)
-	for i, j := range in.Jobs {
-		if err := j.Validate(); err != nil {
-			return nil, err
+// clampArrivals returns the job list with arrivals earlier than now
+// clamped to now. Clamping happens on shallow copies — the caller's
+// *job.Job values are shared with the runtime, and mutating their Arrival
+// in place corrupted arrival-based metrics (e.g. Slowdown) computed after
+// a replan. The input slice is returned unchanged when nothing clamps.
+func clampArrivals(jobs []*job.Job, now float64) []*job.Job {
+	out := jobs
+	copied := false
+	for i, j := range jobs {
+		if j.Arrival >= now {
+			continue
 		}
-		if j.Arrival < now {
-			j.Arrival = now
+		if !copied {
+			out = append([]*job.Job(nil), jobs...)
+			copied = true
 		}
-		resp[i] = in.Cluster.Response(j, alpha)
+		cp := *j
+		cp.Arrival = now
+		out[i] = &cp
 	}
+	return out
+}
 
-	rj := make([]int, J)
-	for i := range rj {
-		rj[i] = 1
+// Replan runs the two-phase planning algorithm for the given (pending)
+// jobs at time now, honoring commitments from in-flight work. Arrival
+// times earlier than now are treated as now; the caller's jobs are never
+// mutated.
+func Replan(in Input, now float64, commitments []Commitment) (*Plan, error) {
+	R := in.Cluster.Racks
+	if R <= 0 {
+		return nil, fmt.Errorf("planner: cluster has %d racks", R)
 	}
-	sched := newScheduler(in, resp)
-	sched.initF = initF
-
-	bestObj := sched.run(rj).objective(in.Objective)
-	bestRj := append([]int(nil), rj...)
-	for {
-		longest, longestLat := -1, -1.0
-		for i := range rj {
-			if rj[i] >= R {
-				continue
-			}
-			if l := resp[i].At(rj[i]); l > longestLat {
-				longest, longestLat = i, l
-			}
-		}
-		if longest == -1 {
-			break
-		}
-		rj[longest]++
-		if obj := sched.run(rj).objective(in.Objective); obj < bestObj {
-			bestObj = obj
-			copy(bestRj, rj)
-		}
+	initF, err := commitmentAvailability(R, now, commitments)
+	if err != nil {
+		return nil, err
 	}
-
-	final := sched.run(bestRj)
-	order := make([]int, J)
-	copy(order, final.order)
-	for rank, idx := range order {
-		j := in.Jobs[idx]
-		plan.Assignments[j.ID] = &Assignment{
-			JobID:      j.ID,
-			Racks:      append([]int(nil), final.racks[idx]...),
-			Start:      final.start[idx],
-			Priority:   rank,
-			EstLatency: resp[idx].At(bestRj[idx]),
-		}
-	}
-	plan.Makespan = final.makespan
-	plan.AvgCompletion = final.avgCompletion
-	traceAssignments(tr, now, plan)
-	return plan, nil
+	in.Jobs = clampArrivals(in.Jobs, now)
+	return planTwoPhase(in, now, initF)
 }
 
 // ReplanIncremental is the budget-constrained middle tier of the fallback
@@ -124,32 +93,31 @@ func Replan(in Input, now float64, commitments []Commitment) (*Plan, error) {
 // previously provisioned rack count (widths, keyed by job ID; jobs
 // without an entry default to one rack) and runs a single prioritization
 // pass against the commitments. Cost: CostIncremental instead of
-// CostFull — one pass instead of J·(R−1)+1.
+// CostFull — one pass instead of J·(R−1)+1. Like Replan, it never
+// mutates the caller's jobs.
 func ReplanIncremental(in Input, now float64, commitments []Commitment, widths map[int]int) (*Plan, error) {
 	J := len(in.Jobs)
 	R := in.Cluster.Racks
 	if R <= 0 {
 		return nil, fmt.Errorf("planner: cluster has %d racks", R)
 	}
-	initF := make([]float64, R)
-	for i := range initF {
-		initF[i] = now
-	}
-	for _, c := range commitments {
-		for _, r := range c.Racks {
-			if r < 0 || r >= R {
-				return nil, fmt.Errorf("planner: commitment rack %d out of range", r)
-			}
-			if c.Until > initF[r] {
-				initF[r] = c.Until
-			}
-		}
+	initF, err := commitmentAvailability(R, now, commitments)
+	if err != nil {
+		return nil, err
 	}
 
 	plan := &Plan{Assignments: make(map[int]*Assignment, J), Objective: in.Objective}
 	if J == 0 {
 		return plan, nil
 	}
+	// Validate every job before emitting plan_start so a rejected input
+	// cannot leave an unbalanced trace (plan_start with no plan_done).
+	for _, j := range in.Jobs {
+		if err := j.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	in.Jobs = clampArrivals(in.Jobs, now)
 	tr := in.tracer()
 	tr.PlanStart(now, J, in.Objective.String())
 	alpha := in.Alpha
@@ -159,12 +127,6 @@ func ReplanIncremental(in Input, now float64, commitments []Commitment, widths m
 	resp := make([]model.ResponseFunc, J)
 	rj := make([]int, J)
 	for i, j := range in.Jobs {
-		if err := j.Validate(); err != nil {
-			return nil, err
-		}
-		if j.Arrival < now {
-			j.Arrival = now
-		}
 		resp[i] = in.Cluster.Response(j, alpha)
 		// Keyed map reads are deterministic; only range order is not.
 		w := widths[j.ID]
@@ -180,9 +142,7 @@ func ReplanIncremental(in Input, now float64, commitments []Commitment, widths m
 	sched := newScheduler(in, resp)
 	sched.initF = initF
 	final := sched.run(rj)
-	order := make([]int, J)
-	copy(order, final.order)
-	for rank, idx := range order {
+	for rank, idx := range final.order {
 		j := in.Jobs[idx]
 		plan.Assignments[j.ID] = &Assignment{
 			JobID:      j.ID,
@@ -202,11 +162,18 @@ func ReplanIncremental(in Input, now float64, commitments []Commitment, widths m
 // in next replace (or add to) those in prev; jobs only in prev are kept.
 // Priorities are renumbered by planned start so the cluster scheduler sees
 // one consistent ordering.
+//
+// Metrics: Makespan is the max of both plans (committed work from prev may
+// outlast everything in next). AvgCompletion is carried from next — the
+// merged assignments no longer know their jobs' arrivals, so the online
+// metric cannot be recomputed here, and next's value is the freshest
+// estimate over the jobs the replan could still influence.
 func MergePlans(prev, next *Plan) *Plan {
 	merged := &Plan{
-		Assignments: make(map[int]*Assignment, len(prev.Assignments)+len(next.Assignments)),
-		Objective:   next.Objective,
-		Makespan:    next.Makespan,
+		Assignments:   make(map[int]*Assignment, len(prev.Assignments)+len(next.Assignments)),
+		Objective:     next.Objective,
+		Makespan:      next.Makespan,
+		AvgCompletion: next.AvgCompletion,
 	}
 	for id, a := range prev.Assignments {
 		copyA := *a

@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"corral/internal/job"
+	"corral/internal/trace"
 )
 
 func jobsOf(js ...*job.Job) []*job.Job { return js }
@@ -151,5 +152,87 @@ func TestQuickReplanCommitments(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Regression: Replan and ReplanIncremental used to clamp j.Arrival = now
+// on the caller's *job.Job — mutating jobs shared with the runtime and
+// corrupting arrival-based metrics (e.g. Slowdown) computed afterwards.
+// Clamping must happen on local copies only.
+func TestReplanDoesNotMutateInputJobs(t *testing.T) {
+	c := testClusterModel()
+	jobs := jobsOf(mkJob(1, 10, 10, 5, 10, 5), mkJob(2, 20, 30, 5, 20, 10))
+	jobs[0].Arrival = 10 // both in the past relative to now=500
+	jobs[1].Arrival = 42
+
+	if _, err := Replan(Input{Cluster: c, Jobs: jobs, Objective: MinimizeAvgCompletion}, 500, nil); err != nil {
+		t.Fatal(err)
+	}
+	if jobs[0].Arrival != 10 || jobs[1].Arrival != 42 {
+		t.Fatalf("Replan mutated input arrivals: got %g, %g", jobs[0].Arrival, jobs[1].Arrival)
+	}
+
+	if _, err := ReplanIncremental(Input{Cluster: c, Jobs: jobs, Objective: MinimizeAvgCompletion},
+		500, nil, map[int]int{1: 2, 2: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if jobs[0].Arrival != 10 || jobs[1].Arrival != 42 {
+		t.Fatalf("ReplanIncremental mutated input arrivals: got %g, %g", jobs[0].Arrival, jobs[1].Arrival)
+	}
+}
+
+// Regression: MergePlans carried Makespan forward but left AvgCompletion
+// silently zero. It now carries next's value (the merged assignments no
+// longer know their arrivals, so the online metric cannot be recomputed;
+// next's estimate covers the jobs the replan could still influence).
+func TestMergePlansCarriesAvgCompletion(t *testing.T) {
+	prev := &Plan{Assignments: map[int]*Assignment{
+		1: {JobID: 1, Racks: []int{0}, Start: 0, EstLatency: 10},
+	}, Makespan: 10, AvgCompletion: 10, Objective: MinimizeAvgCompletion}
+	next := &Plan{Assignments: map[int]*Assignment{
+		2: {JobID: 2, Racks: []int{1}, Start: 20, EstLatency: 5},
+	}, Makespan: 25, AvgCompletion: 12.5, Objective: MinimizeAvgCompletion}
+	merged := MergePlans(prev, next)
+	if merged.AvgCompletion != 12.5 {
+		t.Fatalf("merged AvgCompletion = %g, want next's 12.5", merged.AvgCompletion)
+	}
+}
+
+// Regression: New, Replan and ReplanIncremental used to emit plan_start
+// before validating jobs, so a rejected input left an unbalanced trace
+// (plan_start with no plan_done). Validation now runs first: an erroring
+// plan emits nothing.
+func TestPlanTraceBalancedOnValidationError(t *testing.T) {
+	c := testClusterModel()
+	bad := mkJob(1, 10, 10, 10, 10, 10)
+	bad.Stages[0].Profile.MapTasks = 0
+
+	calls := []func(in Input) error{
+		func(in Input) error { _, err := New(in); return err },
+		func(in Input) error { _, err := Replan(in, 100, nil); return err },
+		func(in Input) error { _, err := ReplanIncremental(in, 100, nil, nil); return err },
+	}
+	for i, call := range calls {
+		tr := trace.New("test")
+		err := call(Input{Cluster: c, Jobs: jobsOf(bad), Trace: tr})
+		if err == nil {
+			t.Fatalf("call %d: invalid job not rejected", i)
+		}
+		starts, dones := 0, 0
+		for _, e := range tr.Events() {
+			switch e.Kind {
+			case trace.KPlanStart:
+				starts++
+			case trace.KPlanDone:
+				dones++
+			}
+		}
+		if starts != dones {
+			t.Fatalf("call %d: unbalanced trace after validation error: %d plan_start, %d plan_done",
+				i, starts, dones)
+		}
+		if starts != 0 {
+			t.Fatalf("call %d: erroring plan emitted %d plan_start events, want 0", i, starts)
+		}
 	}
 }

@@ -70,11 +70,10 @@ func (rt *runtime) replanOnFailure() {
 			})
 			continue
 		}
-		// Constraints dropped by the fault: replan. Replan clamps Arrival
-		// in place, so pass a shallow copy — the runtime's own job records
-		// absolute arrival for metrics.
-		cp := *je.job
-		in.Jobs = append(in.Jobs, &cp)
+		// Constraints dropped by the fault: replan. Replan clamps stale
+		// arrivals on its own copies, so the runtime's job records keep
+		// their absolute arrivals for metrics.
+		in.Jobs = append(in.Jobs, je.job)
 		replanJobs = append(replanJobs, je)
 	}
 	if len(in.Jobs) == 0 {
